@@ -1,0 +1,105 @@
+// Command qsaspec validates and formats QSA specification files (the
+// textual QoS/instance language of internal/spec — the paper's §3.1
+// co-located QoS specifications).
+//
+//	qsaspec file.spec            # validate; exit 1 with diagnostics on error
+//	qsaspec -fmt file.spec       # print the canonical formatting to stdout
+//	qsaspec -w -fmt file.spec    # rewrite the file in place
+//	qsaspec -dot vod -user "fps=[20,100]" file.spec
+//	                             # emit the application's QoS-consistency
+//	                             # graph as Graphviz DOT, QCS path marked
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compose"
+	"repro/internal/service"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		format  = flag.Bool("fmt", false, "print the canonical formatting")
+		write   = flag.Bool("w", false, "with -fmt: rewrite the file in place")
+		dotApp  = flag.String("dot", "", "emit the named application's consistency graph as DOT")
+		userReq = flag.String("user", "", "with -dot: the user's QoS requirement, e.g. \"fps=[20,100]\" (empty = accept anything)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qsaspec [-fmt [-w]] [-dot app] file.spec")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	parsed, err := spec.Parse(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *format:
+		var buf bytes.Buffer
+		if err := parsed.Format(&buf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *write {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			os.Stdout.Write(buf.Bytes())
+		}
+	case *dotApp != "":
+		var app *service.Application
+		for _, a := range parsed.Applications {
+			if a.ID == *dotApp {
+				app = a
+				break
+			}
+		}
+		if app == nil {
+			fmt.Fprintf(os.Stderr, "no application %q in %s\n", *dotApp, path)
+			os.Exit(1)
+		}
+		byService := map[service.Name][]*service.Instance{}
+		for _, in := range parsed.Instances {
+			byService[in.Service] = append(byService[in.Service], in)
+		}
+		layers := make([][]*service.Instance, 0, len(app.Path))
+		for _, svc := range app.Path {
+			if len(byService[svc]) == 0 {
+				fmt.Fprintf(os.Stderr, "no instances of %q in %s\n", svc, path)
+				os.Exit(1)
+			}
+			layers = append(layers, byService[svc])
+		}
+		userQoS, err := spec.ParseQoS(*userReq)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -user requirement:", err)
+			os.Exit(2)
+		}
+		var chosen []*service.Instance
+		if p, err := compose.QCS(layers, userQoS, compose.Config{}); err == nil {
+			chosen = p.Instances
+		}
+		if err := compose.WriteDOT(os.Stdout, layers, userQoS, chosen); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Printf("%s: ok (%d instances, %d applications)\n",
+			path, len(parsed.Instances), len(parsed.Applications))
+	}
+}

@@ -1,0 +1,67 @@
+package qsa_test
+
+import (
+	"fmt"
+	"log"
+
+	qsa "repro"
+)
+
+// Example demonstrates the full public API: build a grid, register a
+// replicated two-component application, aggregate with QoS requirements,
+// and drive the virtual clock until the session completes.
+func Example() {
+	grid, err := qsa.New(qsa.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var peers []qsa.PeerID
+	for i := 0; i < 6; i++ {
+		p, err := grid.AddPeer(600, 600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+
+	source := qsa.Instance{
+		ID: "source/mpeg", Service: "source",
+		Input:  qsa.QoS{qsa.Sym("media", "disk")},
+		Output: qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Range("fps", 20, 30)},
+		CPU:    50, Memory: 50, Kbps: 10,
+	}
+	player := qsa.Instance{
+		ID: "player/real", Service: "player",
+		Input:  qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Range("fps", 0, 40)},
+		Output: qsa.QoS{qsa.Sym("screen", "yes"), qsa.Range("fps", 20, 30)},
+		CPU:    30, Memory: 30, Kbps: 10,
+	}
+	for _, p := range peers[:2] {
+		if err := grid.Provide(p, source); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range peers[2:4] {
+		if err := grid.Provide(p, player); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	plan, err := grid.Aggregate(peers[5], qsa.Request{
+		Path:     []string{"source", "player"},
+		MinQoS:   qsa.QoS{qsa.Range("fps", 15, 1e9)},
+		Duration: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instances:", plan.Instances)
+
+	grid.Advance(30)
+	status, _ := grid.Status(plan.SessionID)
+	fmt.Println("status:", status)
+	// Output:
+	// instances: [source/mpeg player/real]
+	// status: completed
+}

@@ -1,0 +1,106 @@
+// Prototype spins up a small QSA grid of REAL TCP peers on loopback — the
+// network prototype the paper names as future work (§6) — and aggregates a
+// streaming session across it: discovery fan-out, probing with measured
+// RTTs, distributed hop-by-hop Φ selection, and reservations that expire
+// with the session.
+//
+// Run with:
+//
+//	go run ./examples/prototype
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/qos"
+	"repro/internal/service"
+)
+
+func main() {
+	// Six peers: a mix of strong and weak hosts.
+	var peers []*netproto.Peer
+	for i := 0; i < 6; i++ {
+		cpu := 400.0
+		if i%2 == 1 {
+			cpu = 120
+		}
+		p, err := netproto.Start(netproto.Config{Listen: "127.0.0.1:0", CPU: cpu, Memory: cpu})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		peers = append(peers, p)
+		if i > 0 {
+			if err := p.Join(peers[0].Addr()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("peer %d up at %s (cpu=%g)\n", i, p.Addr(), cpu)
+	}
+
+	// Register a two-component application on several providers.
+	source := &service.Instance{
+		ID: "camfeed/mpeg", Service: "camfeed",
+		Qin:     qos.MustVector(qos.Sym("media", "cam")),
+		Qout:    qos.MustVector(qos.Sym("format", "MPEG"), qos.Range("fps", 22, 28)),
+		R:       []float64{60, 60},
+		OutKbps: 80,
+	}
+	mixer := &service.Instance{
+		ID: "mixer/std", Service: "mixer",
+		Qin:     qos.MustVector(qos.Sym("format", "MPEG"), qos.Range("fps", 0, 30)),
+		Qout:    qos.MustVector(qos.Sym("format", "MPEG"), qos.Range("fps", 22, 28)),
+		R:       []float64{40, 40},
+		OutKbps: 80,
+	}
+	for _, i := range []int{0, 1, 2} {
+		must(peers[i].Provide(source))
+	}
+	for _, i := range []int{2, 3, 4} {
+		must(peers[i].Provide(mixer))
+	}
+
+	// Peer 5 is the user: aggregate over actual sockets.
+	fmt.Println("\naggregating camfeed → mixer at ≥20 fps over TCP ...")
+	plan, err := peers[5].Aggregate(
+		[]service.Name{"camfeed", "mixer"},
+		qos.MustVector(qos.Range("fps", 20, 1e9)),
+		2*time.Second,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s admitted (cost %.4f):\n", plan.SessionID, plan.Cost)
+	for i := range plan.Instances {
+		fmt.Printf("  hop %d: %-14s on %s\n", i, plan.Instances[i], plan.Peers[i])
+	}
+
+	for i, p := range peers {
+		if p.ActiveSessions() > 0 {
+			av := p.Available()
+			fmt.Printf("peer %d holds a reservation (available now %v)\n", i, av)
+		}
+	}
+
+	fmt.Println("\nwaiting for the session to expire ...")
+	time.Sleep(2500 * time.Millisecond)
+	leaked := false
+	for i, p := range peers {
+		if p.ActiveSessions() != 0 {
+			fmt.Printf("peer %d still holds a reservation!\n", i)
+			leaked = true
+		}
+	}
+	if !leaked {
+		fmt.Println("all reservations released — the grid is idle again.")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

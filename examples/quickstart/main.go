@@ -1,0 +1,124 @@
+// Quickstart: build a tiny P2P grid, register a two-component application
+// (a media source feeding a player), and let QSA aggregate it with QoS
+// guarantees.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qsa "repro"
+)
+
+func main() {
+	grid, err := qsa.New(qsa.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A handful of peers: some beefy servers, some laptops, and the user.
+	var peers []qsa.PeerID
+	for i := 0; i < 8; i++ {
+		cap := 1000.0 // server-class
+		if i%2 == 1 {
+			cap = 150 // laptop-class
+		}
+		p, err := grid.AddPeer(cap, cap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	user := peers[7]
+
+	// Two instances of the "source" service with different output QoS, and
+	// one player. QSA's composition tier must pick a QoS-consistent pair.
+	sourceHD := qsa.Instance{
+		ID: "source/hd", Service: "source",
+		Input:  qsa.QoS{qsa.Sym("format", "RAW")},
+		Output: qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Range("fps", 25, 30)},
+		CPU:    120, Memory: 120, Kbps: 90,
+	}
+	sourceSD := qsa.Instance{
+		ID: "source/sd", Service: "source",
+		Input:  qsa.QoS{qsa.Sym("format", "RAW")},
+		Output: qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Range("fps", 12, 15)},
+		CPU:    40, Memory: 40, Kbps: 30,
+	}
+	// Two player instances with different accepted input rates and output
+	// quality — the paper's "real player vs windows media player" style
+	// instance diversity.
+	playerHD := qsa.Instance{
+		ID: "player/hd", Service: "player",
+		Input:  qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Range("fps", 20, 40)},
+		Output: qsa.QoS{qsa.Sym("format", "SCREEN"), qsa.Range("fps", 20, 30)},
+		CPU:    90, Memory: 90, Kbps: 60,
+	}
+	playerSD := qsa.Instance{
+		ID: "player/sd", Service: "player",
+		Input:  qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Range("fps", 0, 19)},
+		Output: qsa.QoS{qsa.Sym("format", "SCREEN"), qsa.Range("fps", 12, 19)},
+		CPU:    30, Memory: 30, Kbps: 20,
+	}
+	// Replicate each instance on several provider peers — the redundancy
+	// QSA exploits.
+	for _, p := range peers[:4] {
+		must(grid.Provide(p, sourceHD))
+		must(grid.Provide(p, sourceSD))
+	}
+	for _, p := range peers[4:7] {
+		must(grid.Provide(p, playerHD))
+		must(grid.Provide(p, playerSD))
+	}
+
+	// A low-demand request: any source qualifies; QCS picks the one with
+	// the smallest aggregated resource footprint (the SD source).
+	plan, err := grid.Aggregate(user, qsa.Request{
+		Path:     []string{"source", "player"},
+		MinQoS:   qsa.QoS{qsa.Range("fps", 10, 1e9)},
+		Duration: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("low-fps request:")
+	printPlan(grid, plan)
+
+	// A demanding request: only the HD source sustains ≥ 20 fps.
+	plan2, err := grid.Aggregate(user, qsa.Request{
+		Path:     []string{"source", "player"},
+		MinQoS:   qsa.QoS{qsa.Range("fps", 20, 1e9)},
+		Duration: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhigh-fps request:")
+	printPlan(grid, plan2)
+
+	// Drive the virtual clock past the session durations.
+	grid.Advance(31)
+	st, _ := grid.Status(plan.SessionID)
+	st2, _ := grid.Status(plan2.SessionID)
+	fmt.Printf("\nafter 31 minutes: session %d is %s, session %d is %s\n",
+		plan.SessionID, st, plan2.SessionID, st2)
+}
+
+func printPlan(grid *qsa.Grid, plan *qsa.Plan) {
+	for i, inst := range plan.Instances {
+		cpu, mem, _ := grid.Available(plan.Peers[i])
+		fmt.Printf("  hop %d: %-12s on peer %d (available after reservation: cpu=%g mem=%g)\n",
+			i, inst, plan.Peers[i], cpu, mem)
+	}
+	fmt.Printf("  aggregated path cost: %.4f\n", plan.Cost)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

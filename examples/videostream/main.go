@@ -1,0 +1,114 @@
+// Videostream reproduces the paper's motivating scenario (§3.2): the user
+// names the abstract service path
+//
+//	video server → Chinese-to-English translator → image enhancement →
+//	video player
+//
+// and QSA aggregates it across the grid. Each abstract service has several
+// instances with different Qin/Qout — codecs and subtitle languages — so
+// the composition tier has to thread a consistent chain: the chosen
+// translator must accept the server's codec and emit what the enhancer
+// accepts, and so on up to the user's QoS requirement.
+//
+// Run with:
+//
+//	go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qsa "repro"
+)
+
+func main() {
+	grid, err := qsa.New(qsa.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peers []qsa.PeerID
+	for i := 0; i < 20; i++ {
+		p, err := grid.AddPeer(800, 800)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers = append(peers, p)
+	}
+	user := peers[19]
+
+	// The catalog. The "lang" dimension tracks the subtitle language
+	// through the chain; "format" tracks the codec.
+	instances := []qsa.Instance{
+		// Video servers: one MPEG source and one AVI source, Chinese subs.
+		{ID: "server/mpeg", Service: "video-server",
+			Input:  qsa.QoS{qsa.Sym("media", "disk")},
+			Output: qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Sym("lang", "zh"), qsa.Range("fps", 22, 26)},
+			CPU:    60, Memory: 80, Kbps: 80},
+		{ID: "server/avi", Service: "video-server",
+			Input:  qsa.QoS{qsa.Sym("media", "disk")},
+			Output: qsa.QoS{qsa.Sym("format", "AVI"), qsa.Sym("lang", "zh"), qsa.Range("fps", 22, 26)},
+			CPU:    50, Memory: 70, Kbps: 90},
+		// Translators: one per codec; both turn zh subtitles into en.
+		{ID: "cn2en/mpeg", Service: "cn2en-translator",
+			Input:  qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Sym("lang", "zh"), qsa.Range("fps", 0, 30)},
+			Output: qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Sym("lang", "en"), qsa.Range("fps", 22, 26)},
+			CPU:    90, Memory: 60, Kbps: 80},
+		{ID: "cn2en/avi", Service: "cn2en-translator",
+			Input:  qsa.QoS{qsa.Sym("format", "AVI"), qsa.Sym("lang", "zh"), qsa.Range("fps", 0, 30)},
+			Output: qsa.QoS{qsa.Sym("format", "AVI"), qsa.Sym("lang", "en"), qsa.Range("fps", 22, 26)},
+			CPU:    120, Memory: 70, Kbps: 90},
+		// Image enhancement: MPEG only — this forces QCS away from the
+		// (individually cheaper) AVI chain.
+		{ID: "enhance/mpeg", Service: "image-enhancer",
+			Input:  qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Sym("lang", "en"), qsa.Range("fps", 0, 30)},
+			Output: qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Sym("lang", "en"), qsa.Range("fps", 22, 26)},
+			CPU:    100, Memory: 100, Kbps: 80},
+		// Players.
+		{ID: "player/real", Service: "video-player",
+			Input:  qsa.QoS{qsa.Sym("format", "MPEG"), qsa.Sym("lang", "en"), qsa.Range("fps", 0, 30)},
+			Output: qsa.QoS{qsa.Sym("screen", "yes"), qsa.Sym("lang", "en"), qsa.Range("fps", 22, 26)},
+			CPU:    40, Memory: 50, Kbps: 60},
+		{ID: "player/wmp", Service: "video-player",
+			Input:  qsa.QoS{qsa.Sym("format", "AVI"), qsa.Sym("lang", "en"), qsa.Range("fps", 0, 30)},
+			Output: qsa.QoS{qsa.Sym("screen", "yes"), qsa.Sym("lang", "en"), qsa.Range("fps", 22, 26)},
+			CPU:    35, Memory: 45, Kbps: 55},
+	}
+	// Spread providers: each instance on 4 peers.
+	for i, inst := range instances {
+		for j := 0; j < 4; j++ {
+			if err := grid.Provide(peers[(i*3+j*5)%18], inst); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	path := []string{"video-server", "cn2en-translator", "image-enhancer", "video-player"}
+	plan, err := grid.Aggregate(user, qsa.Request{
+		Path:     path,
+		MinQoS:   qsa.QoS{qsa.Sym("lang", "en"), qsa.Range("fps", 20, 1e9)},
+		Duration: 45,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("aggregated video delivery (English subtitles, ≥20 fps):")
+	for i, inst := range plan.Instances {
+		fmt.Printf("  hop %d: %-14s → peer %d\n", i, inst, plan.Peers[i])
+	}
+	fmt.Printf("  aggregated cost: %.4f\n", plan.Cost)
+	fmt.Println("\nnote: the whole chain is MPEG — the enhancer only speaks MPEG, so")
+	fmt.Println("the composition tier discarded the cheaper AVI server/translator pair.")
+
+	// An unsatisfiable request: nobody translates to French.
+	_, err = grid.Aggregate(user, qsa.Request{
+		Path:     path,
+		MinQoS:   qsa.QoS{qsa.Sym("lang", "fr")},
+		Duration: 10,
+	})
+	fmt.Printf("\nrequesting French subtitles fails as it should: %v\n", err)
+
+	grid.Advance(45)
+	st, _ := grid.Status(plan.SessionID)
+	fmt.Printf("\nsession %d after 45 minutes: %s\n", plan.SessionID, st)
+}

@@ -1,0 +1,575 @@
+// Package can implements a Content-Addressable Network (Ratnasamy et al.,
+// SIGCOMM 2001) — the second P2P lookup service the QSA paper names
+// ("the P2P lookup protocol, such as Chord or CAN", §3.2).
+//
+// CAN organizes nodes into a d-dimensional torus [0,1)^d partitioned into
+// rectangular zones. A key hashes to a point; the node owning the zone
+// containing the point stores the key's items. Routing is greedy: each
+// zone forwards toward the neighbor closest to the target point, costing
+// O(d·N^(1/d)) hops.
+//
+// Like the Chord package, this is an in-process simulation with faithful
+// routing: every forwarding decision uses only the current zone's own
+// neighbor list, and hop counts are those of the real protocol.
+// Simplifications relative to a full deployment, documented here:
+//
+//   - joins split the incumbent's zone at the midpoint of its longest
+//     dimension (the classic splitting rule);
+//   - on departure, each of the leaver's zones is taken over by the owner
+//     of its smallest neighboring zone. Zones never merge, so the space
+//     fragments the way a real CAN does between background defragmentation
+//     rounds (which we do not simulate);
+//   - items are replicated into the owner zone's first Replicas−1
+//     neighbor zones, standing in for CAN's multiple-realities redundancy.
+package can
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a Space.
+type Config struct {
+	// Dims is the dimensionality d of the coordinate space. Default 2.
+	Dims int
+	// Replicas is the number of zones each item is stored in (owner +
+	// neighbors). Default 3.
+	Replicas int
+	// MaxHops bounds greedy routing before the oracle fallback. Default
+	// 64 · Dims.
+	MaxHops int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Dims == 0 {
+		c.Dims = 2
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 64 * c.Dims
+	}
+}
+
+// Point is a location in [0,1)^d.
+type Point []float64
+
+// KeyPoint maps a key onto the space by hashing each coordinate
+// independently.
+func KeyPoint(key uint64, dims int) Point {
+	p := make(Point, dims)
+	for i := range p {
+		h := xrand.Mix64(key ^ (uint64(i+1) * 0xA24BAED4963EE407))
+		p[i] = float64(h>>11) / (1 << 53)
+	}
+	return p
+}
+
+// torusDist is the circular distance between two coordinates.
+func torusDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// Zone is one rectangular region [lo, hi) of the space. Zones are the
+// routing entities; a node may own several after takeovers.
+type Zone struct {
+	lo, hi    []float64
+	owner     *Node
+	items     map[uint64]map[string]any
+	neighbors []*Zone // kept sorted by lo coordinates for determinism
+}
+
+// Contains reports whether the zone contains the point.
+func (z *Zone) Contains(p Point) bool {
+	for i := range p {
+		if p[i] < z.lo[i] || p[i] >= z.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the zone's d-dimensional volume.
+func (z *Zone) Volume() float64 {
+	v := 1.0
+	for i := range z.lo {
+		v *= z.hi[i] - z.lo[i]
+	}
+	return v
+}
+
+// Owner returns the node currently responsible for the zone.
+func (z *Zone) Owner() *Node { return z.owner }
+
+// dist is the squared torus distance from the zone (as a rectangle) to p.
+func (z *Zone) dist(p Point) float64 {
+	var sum float64
+	for i := range p {
+		if p[i] >= z.lo[i] && p[i] < z.hi[i] {
+			continue
+		}
+		d := math.Min(torusDist(p[i], z.lo[i]), torusDist(p[i], z.hi[i]))
+		sum += d * d
+	}
+	return sum
+}
+
+// less orders zones lexicographically by lower corner, then upper.
+func (z *Zone) less(o *Zone) bool {
+	for i := range z.lo {
+		if z.lo[i] != o.lo[i] {
+			return z.lo[i] < o.lo[i]
+		}
+	}
+	for i := range z.hi {
+		if z.hi[i] != o.hi[i] {
+			return z.hi[i] < o.hi[i]
+		}
+	}
+	return false
+}
+
+// touch reports whether the intervals [aLo,aHi) and [bLo,bHi) abut on the
+// unit circle.
+func touch(aLo, aHi, bLo, bHi float64) bool {
+	if aHi == bLo || bHi == aLo {
+		return true
+	}
+	// Wraparound: 1.0 is identified with 0.0.
+	return (aHi == 1 && bLo == 0) || (bHi == 1 && aLo == 0)
+}
+
+// overlap reports whether the intervals overlap with positive measure.
+func overlap(aLo, aHi, bLo, bHi float64) bool {
+	return aLo < bHi && bLo < aHi
+}
+
+// adjacent reports whether two zones are CAN neighbors: they abut in
+// exactly one dimension and overlap in all others. Overlap takes priority
+// over abutment: a dimension spanning the whole circle touches itself
+// across the wrap but is an overlapping dimension, not the abutting one.
+func adjacent(a, b *Zone) bool {
+	touching := 0
+	for i := range a.lo {
+		switch {
+		case overlap(a.lo[i], a.hi[i], b.lo[i], b.hi[i]):
+			// fine: overlapping dimension
+		case touch(a.lo[i], a.hi[i], b.lo[i], b.hi[i]):
+			touching++
+		default:
+			return false
+		}
+	}
+	return touching == 1
+}
+
+// Node is one CAN participant.
+type Node struct {
+	label string
+	alive bool
+	zones []*Zone
+}
+
+// Alive reports whether the node is still part of the overlay.
+func (n *Node) Alive() bool { return n.alive }
+
+// Label returns the external binding supplied at join.
+func (n *Node) Label() string { return n.label }
+
+// Zones returns the number of zones the node currently owns.
+func (n *Node) Zones() int { return len(n.zones) }
+
+// Items returns the number of (key, item) pairs stored across the node's
+// zones.
+func (n *Node) Items() int {
+	c := 0
+	for _, z := range n.zones {
+		for _, m := range z.items {
+			c += len(m)
+		}
+	}
+	return c
+}
+
+// Stats accumulates space-wide routing statistics.
+type Stats struct {
+	Lookups   uint64
+	TotalHops uint64
+	Fallbacks uint64 // greedy stalls resolved by the oracle
+}
+
+// MeanHops returns the average hops per completed lookup.
+func (s Stats) MeanHops() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Lookups)
+}
+
+// Space is the whole coordinate space: all zones and nodes.
+type Space struct {
+	cfg   Config
+	zones []*Zone
+	nodes []*Node
+	stats Stats
+}
+
+// NewSpace returns an empty space.
+func NewSpace(cfg Config) *Space {
+	cfg.fillDefaults()
+	return &Space{cfg: cfg}
+}
+
+// Size returns the number of alive nodes.
+func (s *Space) Size() int {
+	n := 0
+	for _, nd := range s.nodes {
+		if nd.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// ZoneCount returns the number of zones (≥ alive nodes; grows with
+// fragmentation).
+func (s *Space) ZoneCount() int { return len(s.zones) }
+
+// Stats returns routing statistics accumulated so far.
+func (s *Space) Stats() Stats { return s.stats }
+
+// zoneAt returns the zone containing the point (ground truth).
+func (s *Space) zoneAt(p Point) *Zone {
+	for _, z := range s.zones {
+		if z.Contains(p) {
+			return z
+		}
+	}
+	return nil
+}
+
+// OwnerZone returns the ground-truth zone containing the key's point.
+func (s *Space) OwnerZone(key uint64) *Zone {
+	return s.zoneAt(KeyPoint(key, s.cfg.Dims))
+}
+
+// insertNeighbor adds n to z's sorted neighbor list (idempotent).
+func insertNeighbor(z, n *Zone) {
+	if z == n {
+		return
+	}
+	for _, e := range z.neighbors {
+		if e == n {
+			return
+		}
+	}
+	z.neighbors = append(z.neighbors, n)
+	sort.Slice(z.neighbors, func(i, j int) bool { return z.neighbors[i].less(z.neighbors[j]) })
+}
+
+// dropNeighbor removes n from z's neighbor list.
+func dropNeighbor(z, n *Zone) {
+	for i, e := range z.neighbors {
+		if e == n {
+			z.neighbors = append(z.neighbors[:i], z.neighbors[i+1:]...)
+			return
+		}
+	}
+}
+
+// Join adds a node: a random point is drawn from rng, routed to, and the
+// incumbent zone is split in half along its longest dimension; the joiner
+// takes the half containing the point.
+func (s *Space) Join(label string, rng *xrand.Source) (*Node, error) {
+	n := &Node{label: label, alive: true}
+	s.nodes = append(s.nodes, n)
+	if len(s.zones) == 0 {
+		z := &Zone{
+			lo:    make([]float64, s.cfg.Dims),
+			hi:    make([]float64, s.cfg.Dims),
+			owner: n,
+			items: make(map[uint64]map[string]any),
+		}
+		for i := range z.hi {
+			z.hi[i] = 1
+		}
+		n.zones = []*Zone{z}
+		s.zones = append(s.zones, z)
+		return n, nil
+	}
+	p := make(Point, s.cfg.Dims)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	target := s.zoneAt(p) // bootstrap placement uses ground truth, as a
+	// real join would route via its bootstrap contact
+	if target == nil {
+		return nil, fmt.Errorf("can: no zone contains %v", p)
+	}
+	s.split(target, p, n)
+	return n, nil
+}
+
+// split divides zone z at the midpoint of its longest dimension; the half
+// containing p goes to the joiner, the other half stays with the
+// incumbent. Items move with their points; neighbor lists are rebuilt
+// locally.
+func (s *Space) split(z *Zone, p Point, joiner *Node) {
+	// Longest dimension, ties to the lowest index (classic CAN alternates;
+	// longest-side keeps zones square-ish under random joins).
+	dim := 0
+	width := z.hi[0] - z.lo[0]
+	for i := 1; i < len(z.lo); i++ {
+		if w := z.hi[i] - z.lo[i]; w > width {
+			dim, width = i, w
+		}
+	}
+	mid := z.lo[dim] + width/2
+
+	newZone := &Zone{
+		lo:    append([]float64(nil), z.lo...),
+		hi:    append([]float64(nil), z.hi...),
+		items: make(map[uint64]map[string]any),
+	}
+	// z keeps the lower half; newZone takes the upper half.
+	newZone.lo[dim] = mid
+	zHiOld := z.hi[dim]
+	z.hi[dim] = mid
+	newZone.hi[dim] = zHiOld
+
+	// The joiner takes whichever half contains its point.
+	if p[dim] >= mid {
+		newZone.owner = joiner
+		joiner.zones = append(joiner.zones, newZone)
+	} else {
+		// Swap: joiner takes the lower half (object z), incumbent keeps the
+		// upper. Transfer ownership of the zone objects accordingly.
+		incumbent := z.owner
+		newZone.owner = incumbent
+		for i, oz := range incumbent.zones {
+			if oz == z {
+				incumbent.zones[i] = newZone
+				break
+			}
+		}
+		z.owner = joiner
+		joiner.zones = append(joiner.zones, z)
+	}
+	s.zones = append(s.zones, newZone)
+
+	// Items whose point now falls into the new half move there.
+	for key, m := range z.items {
+		kp := KeyPoint(key, s.cfg.Dims)
+		if newZone.Contains(kp) {
+			newZone.items[key] = m
+			delete(z.items, key)
+		}
+	}
+
+	// Rebuild neighbor lists locally: candidates are the old neighbor set
+	// plus the two halves themselves.
+	candidates := append([]*Zone{}, z.neighbors...)
+	for _, c := range candidates {
+		dropNeighbor(c, z)
+		dropNeighbor(z, c)
+	}
+	candidates = append(candidates, z, newZone)
+	for _, a := range []*Zone{z, newZone} {
+		for _, c := range candidates {
+			if a != c && adjacent(a, c) {
+				insertNeighbor(a, c)
+				insertNeighbor(c, a)
+			}
+		}
+	}
+}
+
+// removeNode removes a node's zones, handing each to the owner of its
+// smallest neighboring zone (deterministic tie-break). keepItems controls
+// graceful (true) vs abrupt (false) departure.
+func (s *Space) removeNode(n *Node, keepItems bool) error {
+	if !n.alive {
+		return fmt.Errorf("can: node %q already gone", n.label)
+	}
+	n.alive = false
+	zones := n.zones
+	n.zones = nil
+	for _, z := range zones {
+		if !keepItems {
+			z.items = make(map[uint64]map[string]any)
+		}
+		var best *Zone
+		for _, nb := range z.neighbors {
+			if nb.owner == n || !nb.owner.alive {
+				continue
+			}
+			if best == nil || nb.Volume() < best.Volume() ||
+				(nb.Volume() == best.Volume() && nb.less(best)) {
+				best = nb
+			}
+		}
+		if best == nil {
+			// No living neighbor: the space is emptying; drop the zone.
+			s.deleteZone(z)
+			continue
+		}
+		z.owner = best.owner
+		best.owner.zones = append(best.owner.zones, z)
+	}
+	return nil
+}
+
+func (s *Space) deleteZone(z *Zone) {
+	for _, nb := range z.neighbors {
+		dropNeighbor(nb, z)
+	}
+	for i, e := range s.zones {
+		if e == z {
+			s.zones = append(s.zones[:i], s.zones[i+1:]...)
+			return
+		}
+	}
+}
+
+// Leave removes the node gracefully: its zones and items are handed over.
+func (s *Space) Leave(n *Node) error { return s.removeNode(n, true) }
+
+// Fail removes the node abruptly: its zones are taken over but their items
+// are lost (replicas in neighbor zones survive).
+func (s *Space) Fail(n *Node) error { return s.removeNode(n, false) }
+
+// route forwards from zone start toward the point, returning the zone
+// containing it and the hop count. Forwarding picks the unvisited neighbor
+// closest to the target; allowing non-improving moves with a visited set
+// lets the query walk around local minima, the role of CAN's perimeter
+// traversal. If the walk exhausts its hop budget or its options, the
+// ground-truth owner resolves the query (counted in Stats.Fallbacks).
+func (s *Space) route(start *Zone, p Point) (*Zone, int) {
+	cur := start
+	hops := 0
+	visited := map[*Zone]bool{start: true}
+	for hops < s.cfg.MaxHops {
+		if cur.Contains(p) {
+			s.stats.Lookups++
+			s.stats.TotalHops += uint64(hops)
+			return cur, hops
+		}
+		var next *Zone
+		bestDist := math.Inf(1)
+		for _, nb := range cur.neighbors {
+			if visited[nb] {
+				continue
+			}
+			if d := nb.dist(p); d < bestDist {
+				bestDist, next = d, nb
+			}
+		}
+		if next == nil {
+			break // every neighbor already visited
+		}
+		visited[next] = true
+		cur = next
+		hops++
+	}
+	s.stats.Fallbacks++
+	for _, z := range s.zones {
+		if z.Contains(p) {
+			hops++
+			s.stats.Lookups++
+			s.stats.TotalHops += uint64(hops)
+			return z, hops
+		}
+	}
+	return nil, hops
+}
+
+// startZone returns the zone a node routes from.
+func startZone(n *Node) (*Zone, error) {
+	if n == nil || !n.alive || len(n.zones) == 0 {
+		return nil, fmt.Errorf("can: routing from a dead or zoneless node")
+	}
+	return n.zones[0], nil
+}
+
+// replicaZones returns the owner zone plus its first Replicas−1 neighbors.
+func (s *Space) replicaZones(owner *Zone) []*Zone {
+	zones := []*Zone{owner}
+	for _, nb := range owner.neighbors {
+		if len(zones) >= s.cfg.Replicas {
+			break
+		}
+		zones = append(zones, nb)
+	}
+	return zones
+}
+
+// Update routes from start to the owner of key and atomically applies fn
+// to the value under itemID; the result is stored on the owner and its
+// replica zones (nil deletes). It returns the routing hop count.
+func (s *Space) Update(start *Node, key uint64, itemID string, fn func(prev any) any) (int, error) {
+	sz, err := startZone(start)
+	if err != nil {
+		return 0, err
+	}
+	owner, hops := s.route(sz, KeyPoint(key, s.cfg.Dims))
+	if owner == nil {
+		return hops, fmt.Errorf("can: no zone for key %d", key)
+	}
+	var prev any
+	if m, ok := owner.items[key]; ok {
+		prev = m[itemID]
+	}
+	next := fn(prev)
+	for _, z := range s.replicaZones(owner) {
+		m, ok := z.items[key]
+		if next == nil {
+			if ok {
+				delete(m, itemID)
+				if len(m) == 0 {
+					delete(z.items, key)
+				}
+			}
+			continue
+		}
+		if !ok {
+			m = make(map[string]any)
+			z.items[key] = m
+		}
+		m[itemID] = next
+	}
+	return hops, nil
+}
+
+// Get routes from start to the owner of key and returns the stored items;
+// empty owners fall back to replica zones.
+func (s *Space) Get(start *Node, key uint64) (map[string]any, int, error) {
+	sz, err := startZone(start)
+	if err != nil {
+		return nil, 0, err
+	}
+	owner, hops := s.route(sz, KeyPoint(key, s.cfg.Dims))
+	if owner == nil {
+		return nil, hops, fmt.Errorf("can: no zone for key %d", key)
+	}
+	for i, z := range s.replicaZones(owner) {
+		if i > 0 {
+			hops++ // consulting a replica costs a hop; the owner is free
+		}
+		if m, ok := z.items[key]; ok && len(m) > 0 {
+			out := make(map[string]any, len(m))
+			for k, v := range m {
+				out[k] = v
+			}
+			return out, hops, nil
+		}
+	}
+	return map[string]any{}, hops, nil
+}

@@ -1,0 +1,444 @@
+package can
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func buildSpace(t *testing.T, seed uint64, n int) (*Space, []*Node) {
+	t.Helper()
+	s := NewSpace(Config{})
+	rng := xrand.New(seed)
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := s.Join(fmt.Sprintf("peer-%d", i), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	return s, nodes
+}
+
+// checkPartition verifies the zones tile the unit torus exactly: volumes
+// sum to 1 and every probe point lies in exactly one zone.
+func checkPartition(t *testing.T, s *Space, rng *xrand.Source) {
+	t.Helper()
+	var vol float64
+	for _, z := range s.zones {
+		vol += z.Volume()
+	}
+	if vol < 1-1e-9 || vol > 1+1e-9 {
+		t.Fatalf("zone volumes sum to %v, want 1", vol)
+	}
+	for i := 0; i < 200; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		found := 0
+		for _, z := range s.zones {
+			if z.Contains(p) {
+				found++
+			}
+		}
+		if found != 1 {
+			t.Fatalf("point %v contained in %d zones", p, found)
+		}
+	}
+}
+
+func TestSingleNodeOwnsSpace(t *testing.T) {
+	s, nodes := buildSpace(t, 1, 1)
+	if s.ZoneCount() != 1 || nodes[0].Zones() != 1 {
+		t.Fatalf("zones = %d", s.ZoneCount())
+	}
+	if v := nodes[0].zones[0].Volume(); v != 1 {
+		t.Fatalf("volume = %v", v)
+	}
+	got, hops, err := s.Get(nodes[0], 42)
+	if err != nil || hops != 0 || len(got) != 0 {
+		t.Fatalf("Get on empty single-node space: %v %d %v", got, hops, err)
+	}
+}
+
+func TestJoinsPartitionSpace(t *testing.T) {
+	s, _ := buildSpace(t, 2, 64)
+	if s.ZoneCount() != 64 {
+		t.Fatalf("ZoneCount = %d, want one zone per node before churn", s.ZoneCount())
+	}
+	checkPartition(t, s, xrand.New(3))
+}
+
+func TestNeighborSymmetryAndCorrectness(t *testing.T) {
+	s, _ := buildSpace(t, 4, 48)
+	for _, z := range s.zones {
+		for _, nb := range z.neighbors {
+			if !adjacent(z, nb) {
+				t.Fatalf("non-adjacent neighbor: %v / %v", z.lo, nb.lo)
+			}
+			found := false
+			for _, back := range nb.neighbors {
+				if back == z {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("neighbor relation not symmetric")
+			}
+		}
+		if len(z.neighbors) == 0 && s.ZoneCount() > 1 {
+			t.Fatal("zone with no neighbors in a multi-zone space")
+		}
+	}
+	// Exhaustive: every adjacent pair is in each other's lists.
+	for i, a := range s.zones {
+		for _, b := range s.zones[i+1:] {
+			if adjacent(a, b) {
+				ok := false
+				for _, nb := range a.neighbors {
+					if nb == b {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("missing neighbor link between %v and %v", a.lo, b.lo)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutingFindsOwner(t *testing.T) {
+	s, nodes := buildSpace(t, 5, 100)
+	rng := xrand.New(6)
+	for i := 0; i < 400; i++ {
+		key := rng.Uint64()
+		start := nodes[rng.Intn(len(nodes))]
+		sz := start.zones[0]
+		got, _ := s.route(sz, KeyPoint(key, s.cfg.Dims))
+		if want := s.OwnerZone(key); got != want {
+			t.Fatalf("route found zone %v, ground truth %v", got.lo, want.lo)
+		}
+	}
+	if s.Stats().Fallbacks > uint64(40) {
+		t.Fatalf("greedy routing fell back %d/400 times", s.Stats().Fallbacks)
+	}
+}
+
+func TestRoutingHopsScaleSublinearly(t *testing.T) {
+	// CAN expects O(d·N^(1/d)) hops: for d=2, N=400 → ~√400 = 20 · d/4.
+	s, nodes := buildSpace(t, 7, 400)
+	rng := xrand.New(8)
+	for i := 0; i < 1000; i++ {
+		s.route(nodes[rng.Intn(len(nodes))].zones[0], KeyPoint(rng.Uint64(), 2))
+	}
+	mean := s.Stats().MeanHops()
+	if mean > 30 {
+		t.Fatalf("mean hops %v too high for N=400, d=2", mean)
+	}
+	if mean < 1 {
+		t.Fatalf("mean hops %v suspiciously low", mean)
+	}
+}
+
+func TestPutGetUpdate(t *testing.T) {
+	s, nodes := buildSpace(t, 9, 50)
+	key := uint64(12345)
+	if _, err := s.Update(nodes[3], key, "a", func(prev any) any {
+		if prev != nil {
+			t.Fatal("prev should be nil on first write")
+		}
+		return "v1"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Get(nodes[44], key)
+	if err != nil || got["a"] != "v1" {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	// Read-modify-write.
+	if _, err := s.Update(nodes[7], key, "a", func(prev any) any {
+		if prev != "v1" {
+			t.Fatalf("prev = %v", prev)
+		}
+		return "v2"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Get(nodes[20], key)
+	if got["a"] != "v2" {
+		t.Fatalf("after update: %v", got)
+	}
+	// Delete via nil.
+	s.Update(nodes[1], key, "a", func(any) any { return nil })
+	got, _, _ = s.Get(nodes[2], key)
+	if len(got) != 0 {
+		t.Fatalf("after delete: %v", got)
+	}
+}
+
+func TestGracefulLeaveKeepsData(t *testing.T) {
+	s, nodes := buildSpace(t, 10, 40)
+	key := uint64(999)
+	s.Update(nodes[0], key, "x", func(any) any { return 7 })
+	owner := s.OwnerZone(key).Owner()
+	if err := s.Leave(owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Leave(owner); err == nil {
+		t.Fatal("double leave must fail")
+	}
+	var start *Node
+	for _, n := range nodes {
+		if n.Alive() {
+			start = n
+			break
+		}
+	}
+	got, _, err := s.Get(start, key)
+	if err != nil || got["x"] != 7 {
+		t.Fatalf("data lost on graceful leave: %v, %v", got, err)
+	}
+	checkPartition(t, s, xrand.New(11))
+}
+
+func TestAbruptFailSurvivedByReplicas(t *testing.T) {
+	s, nodes := buildSpace(t, 12, 60)
+	key := uint64(4242)
+	s.Update(nodes[0], key, "x", func(any) any { return "keep" })
+	owner := s.OwnerZone(key).Owner()
+	if err := s.Fail(owner); err != nil {
+		t.Fatal(err)
+	}
+	var start *Node
+	for _, n := range nodes {
+		if n.Alive() {
+			start = n
+			break
+		}
+	}
+	got, _, err := s.Get(start, key)
+	if err != nil || got["x"] != "keep" {
+		t.Fatalf("data lost despite replication: %v, %v", got, err)
+	}
+}
+
+func TestTakeoverTransfersZones(t *testing.T) {
+	s, nodes := buildSpace(t, 13, 20)
+	victim := nodes[5]
+	zonesBefore := s.ZoneCount()
+	if err := s.Leave(victim); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Zones() != 0 || victim.Alive() {
+		t.Fatal("leaver kept zones")
+	}
+	if s.ZoneCount() != zonesBefore {
+		t.Fatalf("zones must persist through takeover: %d vs %d", s.ZoneCount(), zonesBefore)
+	}
+	// Every zone must have an alive owner.
+	for _, z := range s.zones {
+		if !z.Owner().Alive() {
+			t.Fatal("zone with dead owner after takeover")
+		}
+	}
+	checkPartition(t, s, xrand.New(14))
+}
+
+func TestRoutingAfterHeavyChurn(t *testing.T) {
+	s, nodes := buildSpace(t, 15, 120)
+	rng := xrand.New(16)
+	// Remove a third of the nodes (mixed graceful/abrupt).
+	removed := 0
+	for _, n := range nodes {
+		if removed >= 40 {
+			break
+		}
+		if rng.Bool(0.5) {
+			if rng.Bool(0.5) {
+				s.Leave(n)
+			} else {
+				s.Fail(n)
+			}
+			removed++
+		}
+	}
+	checkPartition(t, s, rng)
+	for i := 0; i < 300; i++ {
+		key := rng.Uint64()
+		var start *Node
+		for start == nil || !start.Alive() {
+			start = nodes[rng.Intn(len(nodes))]
+		}
+		got, _, err := s.Get(start, key)
+		if err != nil {
+			t.Fatalf("Get after churn: %v", err)
+		}
+		_ = got
+	}
+}
+
+func TestEmptySpaceAfterAllLeave(t *testing.T) {
+	s, nodes := buildSpace(t, 17, 5)
+	for _, n := range nodes {
+		if err := s.Leave(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Size() != 0 || s.ZoneCount() != 0 {
+		t.Fatalf("space not empty: %d nodes, %d zones", s.Size(), s.ZoneCount())
+	}
+	if _, _, err := s.Get(nodes[0], 1); err == nil {
+		t.Fatal("Get from dead node must fail")
+	}
+}
+
+func TestKeyPointDeterministicAndSpread(t *testing.T) {
+	a := KeyPoint(7, 2)
+	b := KeyPoint(7, 2)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("KeyPoint must be deterministic")
+	}
+	if a[0] == a[1] {
+		t.Fatal("coordinates must be independently hashed")
+	}
+	// Spread: coordinates fill the space.
+	buckets := make([]int, 4)
+	for k := uint64(0); k < 1000; k++ {
+		p := KeyPoint(k, 2)
+		if p[0] < 0 || p[0] >= 1 || p[1] < 0 || p[1] >= 1 {
+			t.Fatalf("point %v out of space", p)
+		}
+		buckets[int(p[0]*2)*2+int(p[1]*2)]++
+	}
+	for i, c := range buckets {
+		if c < 150 {
+			t.Fatalf("quadrant %d underfilled: %d/1000", i, c)
+		}
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	mk := func(lo0, hi0, lo1, hi1 float64) *Zone {
+		return &Zone{lo: []float64{lo0, lo1}, hi: []float64{hi0, hi1}}
+	}
+	cases := []struct {
+		a, b *Zone
+		want bool
+	}{
+		{mk(0, .5, 0, .5), mk(.5, 1, 0, .5), true},    // side by side
+		{mk(0, .5, 0, .5), mk(.5, 1, .5, 1), false},   // corner only
+		{mk(0, .5, 0, .5), mk(.5, 1, .25, .75), true}, // partial overlap
+		{mk(0, .5, 0, .5), mk(0, .5, .5, 1), true},    // stacked
+		{mk(0, .25, 0, 1), mk(.75, 1, 0, 1), true},    // torus wrap in x
+		{mk(0, .25, 0, .5), mk(.3, .6, 0, .5), false}, // gap
+	}
+	for i, c := range cases {
+		if got := adjacent(c.a, c.b); got != c.want {
+			t.Errorf("case %d: adjacent = %v, want %v", i, got, c.want)
+		}
+		if got := adjacent(c.b, c.a); got != c.want {
+			t.Errorf("case %d: adjacency not symmetric", i)
+		}
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	if d := torusDist(0.1, 0.9); d < 0.2-1e-12 || d > 0.2+1e-12 {
+		t.Fatalf("torusDist(0.1, 0.9) = %v", d)
+	}
+	if torusDist(0.3, 0.3) != 0 {
+		t.Fatal("identical points must be at distance 0")
+	}
+}
+
+// Property: after any sequence of joins, the space is a partition and
+// every stored key is retrievable from every node.
+func TestPropertyJoinPartition(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		s := NewSpace(Config{})
+		rng := xrand.New(seed)
+		var nodes []*Node
+		for i := 0; i < n; i++ {
+			nd, err := s.Join("n", rng)
+			if err != nil {
+				return false
+			}
+			nodes = append(nodes, nd)
+		}
+		var vol float64
+		for _, z := range s.zones {
+			vol += z.Volume()
+		}
+		if vol < 1-1e-9 || vol > 1+1e-9 {
+			return false
+		}
+		for k := uint64(0); k < 20; k++ {
+			if _, err := s.Update(nodes[int(k)%n], k, "i", func(any) any { return k }); err != nil {
+				return false
+			}
+		}
+		for k := uint64(0); k < 20; k++ {
+			got, _, err := s.Get(nodes[int(k*7)%n], k)
+			if err != nil || got["i"] != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeDimensionalSpace(t *testing.T) {
+	s := NewSpace(Config{Dims: 3})
+	rng := xrand.New(77)
+	var nodes []*Node
+	for i := 0; i < 60; i++ {
+		n, err := s.Join("n", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	var vol float64
+	for _, z := range s.zones {
+		vol += z.Volume()
+	}
+	if vol < 1-1e-9 || vol > 1+1e-9 {
+		t.Fatalf("3-D volumes sum to %v", vol)
+	}
+	for k := uint64(0); k < 30; k++ {
+		if _, err := s.Update(nodes[int(k)%60], k, "i", func(any) any { return k }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 30; k++ {
+		got, _, err := s.Get(nodes[int(k*13)%60], k)
+		if err != nil || got["i"] != k {
+			t.Fatalf("3-D retrieval failed for %d: %v, %v", k, got, err)
+		}
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	s, nodes := buildSpace(t, 18, 3)
+	n := nodes[0]
+	if n.Label() != "peer-0" || !n.Alive() {
+		t.Fatalf("accessors: %q %v", n.Label(), n.Alive())
+	}
+	if n.Items() != 0 {
+		t.Fatal("fresh node must store nothing")
+	}
+	s.Update(n, 5, "a", func(any) any { return 1 })
+	total := 0
+	for _, nd := range nodes {
+		total += nd.Items()
+	}
+	if total == 0 {
+		t.Fatal("item not stored anywhere")
+	}
+}

@@ -1,0 +1,243 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/xrand"
+)
+
+func mustCat(t *testing.T, seed uint64) *Catalog {
+	t.Helper()
+	c, err := New(Default(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPaperShape(t *testing.T) {
+	c := mustCat(t, 1)
+	if len(c.Apps) != 10 {
+		t.Fatalf("apps = %d, paper uses 10", len(c.Apps))
+	}
+	for _, app := range c.Apps {
+		if app.Hops() < 2 || app.Hops() > 5 {
+			t.Fatalf("%s has %d hops, paper range is 2–5", app.ID, app.Hops())
+		}
+		for _, name := range app.Path {
+			k := len(c.InstancesOf(name))
+			if k < 10 || k > 20 {
+				t.Fatalf("%s has %d instances, paper range is 10–20", name, k)
+			}
+		}
+	}
+}
+
+func TestHopDiversity(t *testing.T) {
+	c := mustCat(t, 2)
+	lengths := map[int]bool{}
+	for _, app := range c.Apps {
+		lengths[app.Hops()] = true
+	}
+	if len(lengths) < 2 {
+		t.Fatalf("all 10 apps have the same hop count; lengths = %v", lengths)
+	}
+}
+
+func TestInstancesValid(t *testing.T) {
+	c := mustCat(t, 3)
+	for _, inst := range c.AllInstances() {
+		if err := inst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(inst.R) != 2 || inst.R[0] != inst.R[1] {
+			t.Fatalf("%s: R = %v, want correlated 2-vector", inst.ID, inst.R)
+		}
+		if inst.R[0] < 30 {
+			t.Fatalf("%s: R below base", inst.ID)
+		}
+		out, _ := inst.Qout.Get("rate")
+		if out.Lo < 5 || out.Hi > 35+1e-9 {
+			t.Fatalf("%s: out rate [%v,%v] outside model", inst.ID, out.Lo, out.Hi)
+		}
+		if inst.OutKbps <= 0 {
+			t.Fatalf("%s: no bandwidth requirement", inst.ID)
+		}
+	}
+}
+
+func TestResourceGrowsWithRate(t *testing.T) {
+	c := mustCat(t, 4)
+	for _, inst := range c.AllInstances() {
+		out, _ := inst.Qout.Get("rate")
+		mid := (out.Lo + out.Hi) / 2
+		want := 30 + 3*mid
+		if inst.R[0] != want {
+			t.Fatalf("%s: R = %v, want %v from rate %v", inst.ID, inst.R[0], want, mid)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := mustCat(t, 42), mustCat(t, 42)
+	ai, bi := a.AllInstances(), b.AllInstances()
+	if len(ai) != len(bi) {
+		t.Fatal("instance counts differ across identically seeded catalogs")
+	}
+	for i := range ai {
+		if ai[i].ID != bi[i].ID || ai[i].R[0] != bi[i].R[0] ||
+			ai[i].Qout.String() != bi[i].Qout.String() {
+			t.Fatalf("instance %d differs across identically seeded catalogs", i)
+		}
+	}
+	c := mustCat(t, 43)
+	if len(c.AllInstances()) == len(ai) && c.AllInstances()[0].R[0] == ai[0].R[0] {
+		// Different seed may coincide in count, but first instance matching
+		// in R too is overwhelmingly unlikely.
+		t.Fatal("different seeds produced identical catalogs")
+	}
+}
+
+func TestSampleRequest(t *testing.T) {
+	c := mustCat(t, 5)
+	rng := xrand.New(7)
+	apps := map[string]bool{}
+	levels := map[qos.Level]bool{}
+	for i := 0; i < 1000; i++ {
+		r := c.SampleRequest(rng)
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if r.Duration < 1 || r.Duration > 60 {
+			t.Fatalf("duration %v outside paper range 1–60", r.Duration)
+		}
+		apps[r.App.ID] = true
+		levels[r.Level] = true
+		if _, ok := r.UserQoS.Get("rate"); !ok {
+			t.Fatal("request lacks rate requirement")
+		}
+		if _, ok := r.UserQoS.Get("format"); ok {
+			t.Fatal("user requirement must be format-agnostic")
+		}
+	}
+	if len(apps) != 10 || len(levels) != 3 {
+		t.Fatalf("workload not diverse: %d apps, %d levels", len(apps), len(levels))
+	}
+}
+
+func TestUserQoSLevels(t *testing.T) {
+	c := mustCat(t, 6)
+	rng := xrand.New(8)
+	for _, lvl := range qos.Levels {
+		v := c.UserQoS(rng, lvl)
+		rate, ok := v.Get("rate")
+		if !ok {
+			t.Fatal("UserQoS lacks rate")
+		}
+		want := levelMinRate(lvl)
+		if rate.Lo != want {
+			t.Fatalf("level %v min rate = %v, want %v", lvl, rate.Lo, want)
+		}
+	}
+	// Monotone: higher level demands at least as much.
+	if levelMinRate(qos.High) <= levelMinRate(qos.Average) ||
+		levelMinRate(qos.Average) <= levelMinRate(qos.Low) {
+		t.Fatal("level min rates must be strictly monotone")
+	}
+}
+
+func TestCompositionFeasibility(t *testing.T) {
+	// Statistical sanity: adjacent layers must usually have at least one
+	// QoS-consistent edge, otherwise the whole evaluation degenerates.
+	c := mustCat(t, 9)
+	edgeless := 0
+	pairs := 0
+	for _, app := range c.Apps {
+		for h := 0; h+1 < len(app.Path); h++ {
+			pairs++
+			froms := c.InstancesOf(app.Path[h])
+			tos := c.InstancesOf(app.Path[h+1])
+			found := false
+			for _, f := range froms {
+				for _, to := range tos {
+					if f.CanFeed(to) {
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+			if !found {
+				edgeless++
+			}
+		}
+	}
+	if edgeless > 0 {
+		t.Fatalf("%d of %d adjacent layers have no consistent edge", edgeless, pairs)
+	}
+}
+
+func TestProviderCount(t *testing.T) {
+	c := mustCat(t, 10)
+	rng := xrand.New(1)
+	for i := 0; i < 200; i++ {
+		n := c.ProviderCount(rng, 10000)
+		if n < 40 || n > 80 {
+			t.Fatalf("ProviderCount = %d, paper range is 40–80", n)
+		}
+	}
+	if n := c.ProviderCount(rng, 5); n != 5 {
+		t.Fatalf("ProviderCount must clamp to population, got %d", n)
+	}
+}
+
+func TestServiceNamesOrdered(t *testing.T) {
+	c := mustCat(t, 11)
+	names := c.ServiceNames()
+	total := 0
+	for _, app := range c.Apps {
+		total += len(app.Path)
+	}
+	if len(names) != total {
+		t.Fatalf("ServiceNames = %d entries, want %d", len(names), total)
+	}
+	seen := map[service.Name]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate service name %s", n)
+		}
+		seen[n] = true
+		if len(c.InstancesOf(n)) == 0 {
+			t.Fatalf("service %s has no instances", n)
+		}
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Seed: 1, Apps: 2, MinHops: 0, MaxHops: 3, MinInstances: 1, MaxInstances: 2, Formats: []string{"A"}},
+		{Seed: 1, Apps: 2, MinHops: 3, MaxHops: 2, MinInstances: 1, MaxInstances: 2, Formats: []string{"A"}},
+		{Seed: 1, Apps: 2, MinHops: 1, MaxHops: 2, MinInstances: 0, MaxInstances: 2, Formats: []string{"A"}},
+		{Seed: 1, Apps: 2, MinHops: 1, MaxHops: 2, MinInstances: 3, MaxInstances: 2, Formats: []string{"A"}},
+		{Seed: 1, Apps: 2, MinHops: 1, MaxHops: 2, MinInstances: 1, MaxInstances: 2, Formats: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestZeroConfigUsesDefaults(t *testing.T) {
+	c, err := New(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Apps) != 10 {
+		t.Fatalf("zero config should fall back to paper defaults, apps = %d", len(c.Apps))
+	}
+}

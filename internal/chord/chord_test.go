@@ -1,0 +1,504 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func buildRing(t *testing.T, seed uint64, n int) (*Ring, []*Node) {
+	t.Helper()
+	r := NewRing(Config{})
+	rng := xrand.New(seed)
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := r.JoinRandom(fmt.Sprintf("peer-%d", i), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	r.RefreshAll()
+	return r, nodes
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		a, b, x ID
+		want    bool
+	}{
+		{10, 20, 15, true},
+		{10, 20, 20, true},  // inclusive right
+		{10, 20, 10, false}, // exclusive left
+		{10, 20, 25, false},
+		{20, 10, 25, true}, // wraparound
+		{20, 10, 5, true},
+		{20, 10, 15, false},
+		{7, 7, 99, true}, // whole ring
+	}
+	for _, c := range cases {
+		if got := between(c.a, c.b, c.x); got != c.want {
+			t.Errorf("between(%d,%d,%d) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("video-server") != HashString("video-server") {
+		t.Fatal("hash must be deterministic")
+	}
+	if HashString("a") == HashString("b") {
+		t.Fatal("distinct names should hash apart")
+	}
+}
+
+func TestLookupFindsGroundTruthOwner(t *testing.T) {
+	r, nodes := buildRing(t, 1, 128)
+	rng := xrand.New(9)
+	for i := 0; i < 500; i++ {
+		key := rng.Uint64()
+		start := nodes[rng.Intn(len(nodes))]
+		got, _, err := r.Lookup(start, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.Owner(key); got != want {
+			t.Fatalf("Lookup(%d) = node %d, ground truth %d", key, got.id, want.id)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	r, nodes := buildRing(t, 2, 1024)
+	rng := xrand.New(5)
+	var total int
+	const lookups = 2000
+	for i := 0; i < lookups; i++ {
+		_, hops, err := r.Lookup(nodes[rng.Intn(len(nodes))], rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	mean := float64(total) / lookups
+	// Chord's expected path length is ~ (1/2) log2 N = 5 for N=1024; allow
+	// generous slack but catch linear behaviour.
+	if mean > 2*float64(Log2Size(1024)) {
+		t.Fatalf("mean hops = %v, not logarithmic for N=1024", mean)
+	}
+	if r.Stats().Lookups != lookups {
+		t.Fatalf("stats recorded %d lookups", r.Stats().Lookups)
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := NewRing(Config{})
+	n, err := r.Join("solo", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, hops, err := r.Lookup(n, 7)
+	if err != nil || got != n {
+		t.Fatalf("single-node lookup = %v, %v", got, err)
+	}
+	if hops != 0 {
+		t.Fatalf("single-node lookup hops = %d", hops)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	r := NewRing(Config{})
+	if _, err := r.Join("a", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join("b", 7); err == nil {
+		t.Fatal("duplicate id must be rejected")
+	}
+}
+
+func TestPutGetRemove(t *testing.T) {
+	r, nodes := buildRing(t, 3, 64)
+	key := HashString("video-server")
+	if _, err := r.Put(nodes[0], key, "inst-1", "spec-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put(nodes[10], key, "inst-2", "spec-2"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := r.Get(nodes[33], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["inst-1"] != "spec-1" || got["inst-2"] != "spec-2" {
+		t.Fatalf("Get = %v", got)
+	}
+	if _, err := r.Remove(nodes[5], key, "inst-1"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = r.Get(nodes[60], key)
+	if len(got) != 1 {
+		t.Fatalf("after Remove, Get = %v", got)
+	}
+}
+
+func TestKeysMoveOnJoin(t *testing.T) {
+	r := NewRing(Config{Replicas: 1})
+	a, _ := r.Join("a", 100)
+	r.RefreshAll()
+	// Key 50 is owned by a (only node).
+	if _, err := r.Put(a, 50, "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	// A node at 60 takes over ownership of key 50.
+	b, _ := r.Join("b", 60)
+	r.RefreshAll()
+	if owner := r.Owner(50); owner != b {
+		t.Fatalf("owner of 50 = %d, want 60", owner.id)
+	}
+	got, _, err := r.Get(a, 50)
+	if err != nil || got["x"] != 1 {
+		t.Fatalf("item did not move with ownership: %v, %v", got, err)
+	}
+	if _, ok := a.store[50]; ok {
+		t.Fatal("old owner kept the key after handoff")
+	}
+}
+
+func TestGracefulLeaveKeepsData(t *testing.T) {
+	r, nodes := buildRing(t, 4, 32)
+	key := HashString("translator")
+	r.Put(nodes[0], key, "i", "v")
+	owner := r.Owner(key)
+	if err := r.Leave(owner); err != nil {
+		t.Fatal(err)
+	}
+	r.RefreshAll()
+	var start *Node
+	for _, n := range nodes {
+		if n.Alive() {
+			start = n
+			break
+		}
+	}
+	got, _, err := r.Get(start, key)
+	if err != nil || got["i"] != "v" {
+		t.Fatalf("data lost on graceful leave: %v, %v", got, err)
+	}
+	if err := r.Leave(owner); err == nil {
+		t.Fatal("double leave must fail")
+	}
+}
+
+func TestAbruptFailureSurvivedByReplicas(t *testing.T) {
+	r, nodes := buildRing(t, 5, 64) // Replicas default 3
+	key := HashString("image-enhancer")
+	r.Put(nodes[0], key, "i", "v")
+	owner := r.Owner(key)
+	if err := r.Fail(owner); err != nil {
+		t.Fatal(err)
+	}
+	r.RefreshAll()
+	var start *Node
+	for _, n := range nodes {
+		if n.Alive() {
+			start = n
+			break
+		}
+	}
+	got, _, err := r.Get(start, key)
+	if err != nil || got["i"] != "v" {
+		t.Fatalf("data lost despite replication: %v, %v", got, err)
+	}
+}
+
+func TestRoutingSurvivesStaleFingers(t *testing.T) {
+	r, nodes := buildRing(t, 6, 256)
+	// Kill a quarter of the ring WITHOUT refreshing survivors: their
+	// fingers now dangle. Lookups must still converge.
+	rng := xrand.New(7)
+	killed := 0
+	for _, n := range nodes {
+		if n.Alive() && rng.Bool(0.25) {
+			r.Fail(n)
+			killed++
+		}
+	}
+	if killed == 0 {
+		t.Skip("nothing killed")
+	}
+	for i := 0; i < 300; i++ {
+		var start *Node
+		for start == nil || !start.Alive() {
+			start = nodes[rng.Intn(len(nodes))]
+		}
+		key := rng.Uint64()
+		got, _, err := r.Lookup(start, key)
+		if err != nil {
+			t.Fatalf("lookup with stale fingers failed: %v", err)
+		}
+		if want := r.Owner(key); got != want {
+			t.Fatalf("stale lookup found %d, ground truth %d", got.id, want.id)
+		}
+	}
+}
+
+func TestLookupFromDeadNode(t *testing.T) {
+	r, nodes := buildRing(t, 8, 8)
+	r.Fail(nodes[0])
+	if _, _, err := r.Lookup(nodes[0], 1); err == nil {
+		t.Fatal("lookup from dead node must fail")
+	}
+}
+
+func TestEmptyRingLookup(t *testing.T) {
+	r := NewRing(Config{})
+	if _, _, err := r.Lookup(nil, 1); err == nil {
+		t.Fatal("lookup on empty ring must fail")
+	}
+}
+
+func TestJoinRandomCollisionRetry(t *testing.T) {
+	r := NewRing(Config{})
+	rng := xrand.New(42)
+	for i := 0; i < 100; i++ {
+		if _, err := r.JoinRandom("n", rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Size() != 100 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+}
+
+// Property: for any set of node ids, every key's lookup agrees with the
+// sorted-ring ground truth owner.
+func TestPropertyLookupMatchesOwner(t *testing.T) {
+	check := func(rawIDs []uint16, keys []uint64) bool {
+		if len(rawIDs) == 0 {
+			return true
+		}
+		r := NewRing(Config{})
+		seen := map[ID]bool{}
+		var any *Node
+		for _, raw := range rawIDs {
+			id := ID(raw)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			n, err := r.Join("n", id)
+			if err != nil {
+				return false
+			}
+			any = n
+		}
+		r.RefreshAll()
+		for _, k := range keys {
+			got, _, err := r.Lookup(any, k)
+			if err != nil || got != r.Owner(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: items put under arbitrary keys are retrievable from any start
+// node, before and after a graceful leave of the owner.
+func TestPropertyDataDurability(t *testing.T) {
+	check := func(keys []uint64) bool {
+		r := NewRing(Config{})
+		rng := xrand.New(11)
+		var nodes []*Node
+		for i := 0; i < 40; i++ {
+			n, err := r.JoinRandom("n", rng)
+			if err != nil {
+				return false
+			}
+			nodes = append(nodes, n)
+		}
+		r.RefreshAll()
+		for i, k := range keys {
+			if _, err := r.Put(nodes[i%len(nodes)], k, fmt.Sprintf("it%d", i), i); err != nil {
+				return false
+			}
+		}
+		for i, k := range keys {
+			got, _, err := r.Get(nodes[(i*7)%len(nodes)], k)
+			if err != nil {
+				return false
+			}
+			if v, ok := got[fmt.Sprintf("it%d", i)]; !ok || v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupCorrectDespiteStaleSuccessors(t *testing.T) {
+	// Join 200 nodes one at a time WITHOUT refreshing the earlier ones:
+	// their successor lists miss the late joiners, the situation that made
+	// lookups land on the pre-join owner. The final-step owner walk must
+	// still deliver the true owner from any start node.
+	r := NewRing(Config{AutoRefreshEvery: -1}) // no refresh at all
+	rng := xrand.New(33)
+	var nodes []*Node
+	for i := 0; i < 200; i++ {
+		n, err := r.JoinRandom("n", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 0; i < 300; i++ {
+		key := rng.Uint64()
+		start := nodes[rng.Intn(len(nodes))]
+		got, _, err := r.Lookup(start, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.Owner(key); got != want {
+			t.Fatalf("stale-successor lookup found %d, true owner %d", got.id, want.id)
+		}
+	}
+}
+
+func TestAutoRefreshBoundsStaleness(t *testing.T) {
+	// With traffic-triggered refresh, sustained lookups after heavy churn
+	// must repair routing state (fewer hops than the never-refresh ring).
+	mk := func(refresh int) float64 {
+		r := NewRing(Config{AutoRefreshEvery: refresh})
+		rng := xrand.New(44)
+		var nodes []*Node
+		for i := 0; i < 300; i++ {
+			n, _ := r.JoinRandom("n", rng)
+			nodes = append(nodes, n)
+		}
+		r.RefreshAll()
+		for i := 0; i < 150; i++ { // heavy churn, survivors unrefreshed
+			for _, n := range nodes {
+				if n.Alive() {
+					r.Fail(n)
+					break
+				}
+			}
+			r.JoinRandom("n", rng)
+		}
+		var start *Node
+		for _, n := range nodes {
+			if n.Alive() {
+				start = n
+				break
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			r.Lookup(start, rng.Uint64())
+		}
+		return r.Stats().MeanHops()
+	}
+	withRefresh := mk(8)
+	noRefresh := mk(-1)
+	if withRefresh >= noRefresh {
+		t.Fatalf("auto-refresh did not reduce mean hops: %v vs %v", withRefresh, noRefresh)
+	}
+}
+
+func TestMeanHopsAndLog2(t *testing.T) {
+	var s Stats
+	if s.MeanHops() != 0 {
+		t.Fatal("MeanHops on zero lookups must be 0")
+	}
+	s = Stats{Lookups: 4, TotalHops: 10}
+	if s.MeanHops() != 2.5 {
+		t.Fatalf("MeanHops = %v", s.MeanHops())
+	}
+	for n, want := range map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 1024: 10, 1025: 11} {
+		if got := Log2Size(n); got != want {
+			t.Errorf("Log2Size(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFallbackWalkWhenFingersUseless(t *testing.T) {
+	// MaxHops of 1 forces the linear successor-walk fallback; lookups must
+	// still return the true owner and count a fallback.
+	r := NewRing(Config{MaxHops: 1, AutoRefreshEvery: -1})
+	rng := xrand.New(55)
+	var nodes []*Node
+	for i := 0; i < 64; i++ {
+		n, err := r.JoinRandom("n", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	r.RefreshAll()
+	for i := 0; i < 50; i++ {
+		key := rng.Uint64()
+		got, _, err := r.Lookup(nodes[i%len(nodes)], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.Owner(key) {
+			t.Fatal("fallback walk returned the wrong owner")
+		}
+	}
+	if r.Stats().Fallbacks == 0 {
+		t.Fatal("no fallbacks recorded despite MaxHops=1")
+	}
+}
+
+func TestOpsFromDeadNodeFail(t *testing.T) {
+	r, nodes := buildRing(t, 77, 8)
+	r.Fail(nodes[0])
+	if _, err := r.Put(nodes[0], 1, "i", 1); err == nil {
+		t.Fatal("Put from dead node must fail")
+	}
+	if _, _, err := r.Get(nodes[0], 1); err == nil {
+		t.Fatal("Get from dead node must fail")
+	}
+	if _, err := r.Remove(nodes[0], 1, "i"); err == nil {
+		t.Fatal("Remove from dead node must fail")
+	}
+	if _, err := r.Update(nodes[0], 1, "i", func(any) any { return 1 }); err == nil {
+		t.Fatal("Update from dead node must fail")
+	}
+	if err := r.Fail(nodes[0]); err == nil {
+		t.Fatal("double Fail must error")
+	}
+}
+
+func TestRemoveLastItemCleansKey(t *testing.T) {
+	r, nodes := buildRing(t, 78, 16)
+	key := HashString("solo")
+	r.Put(nodes[0], key, "only", 1)
+	r.Remove(nodes[1], key, "only")
+	owner := r.Owner(key)
+	if owner.Items() != 0 {
+		t.Fatalf("owner still stores %d items", owner.Items())
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	r := NewRing(Config{})
+	n, _ := r.Join("peer-9", 77)
+	if n.ID() != 77 || n.Label() != "peer-9" || !n.Alive() {
+		t.Fatalf("accessors: %d %q %v", n.ID(), n.Label(), n.Alive())
+	}
+	if n.Items() != 0 {
+		t.Fatal("fresh node must store nothing")
+	}
+	r.Put(n, 5, "a", 1)
+	if n.Items() != 1 {
+		t.Fatalf("Items = %d", n.Items())
+	}
+}

@@ -1,0 +1,410 @@
+package compose
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/service"
+	"repro/internal/xrand"
+)
+
+// inst builds a test instance with format-based consistency: accepts
+// inFmt, produces outFmt, with resource demand r and edge bandwidth b.
+func inst(id string, inFmt, outFmt string, r, b float64) *service.Instance {
+	return &service.Instance{
+		ID:      id,
+		Service: "svc",
+		Qin:     qos.MustVector(qos.Sym("format", inFmt)),
+		Qout:    qos.MustVector(qos.Sym("format", outFmt)),
+		R:       resource.Vec2(r, r),
+		OutKbps: b,
+	}
+}
+
+var userA = qos.MustVector(qos.Sym("format", "A"))
+
+func TestQCSPicksCheapestConsistent(t *testing.T) {
+	// Layer 0 feeds layer 1, layer 1 feeds the user (format A).
+	layers := [][]*service.Instance{
+		{
+			inst("s0-cheap", "X", "M", 10, 100),
+			inst("s0-pricy", "X", "M", 500, 100),
+		},
+		{
+			inst("s1-pricy", "M", "A", 400, 100),
+			inst("s1-cheap", "M", "A", 20, 100),
+		},
+	}
+	p, err := QCS(layers, userA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instances[0].ID != "s0-cheap" || p.Instances[1].ID != "s1-cheap" {
+		t.Fatalf("QCS chose %v", []string{p.Instances[0].ID, p.Instances[1].ID})
+	}
+	if !Consistent(p.Instances, userA) {
+		t.Fatal("QCS path must be consistent")
+	}
+	want := Config{}.PathCost(p.Instances)
+	if math.Abs(p.Cost-want) > 1e-12 {
+		t.Fatalf("Cost = %v, want %v", p.Cost, want)
+	}
+}
+
+func TestQCSRespectsConsistencyOverCost(t *testing.T) {
+	// The cheap final instance produces the wrong format; QCS must pay for
+	// the consistent one.
+	layers := [][]*service.Instance{
+		{inst("s0", "X", "M", 10, 100)},
+		{
+			inst("s1-wrongfmt", "M", "B", 1, 1),
+			inst("s1-right", "M", "A", 300, 100),
+		},
+	}
+	p, err := QCS(layers, userA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instances[1].ID != "s1-right" {
+		t.Fatal("QCS chose a QoS-inconsistent final instance")
+	}
+}
+
+func TestQCSGlobalOptimumOverGreedy(t *testing.T) {
+	// A greedy (per-layer cheapest) choice is trapped: the cheap layer-1
+	// instance only accepts format G, whose producer is very expensive.
+	layers := [][]*service.Instance{
+		{
+			inst("s0-G", "X", "G", 900, 100), // expensive producer of G
+			inst("s0-M", "X", "M", 50, 100),
+		},
+		{
+			inst("s1-cheap-G", "G", "A", 10, 100),
+			inst("s1-M", "M", "A", 100, 100),
+		},
+	}
+	p, err := QCS(layers, userA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global optimum: s0-M (50) + s1-M (100) = 150 < s0-G (900) + s1-cheap-G (10).
+	if p.Instances[0].ID != "s0-M" || p.Instances[1].ID != "s1-M" {
+		t.Fatalf("QCS not globally optimal: %s, %s", p.Instances[0].ID, p.Instances[1].ID)
+	}
+}
+
+func TestQCSBandwidthInCost(t *testing.T) {
+	// Equal R; bandwidth term must break the tie.
+	layers := [][]*service.Instance{{
+		inst("hungry", "M", "A", 100, 9000),
+		inst("lean", "M", "A", 100, 56),
+	}}
+	p, err := QCS(layers, userA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instances[0].ID != "lean" {
+		t.Fatal("bandwidth term ignored in edge cost")
+	}
+}
+
+func TestQCSNoPath(t *testing.T) {
+	layers := [][]*service.Instance{
+		{inst("s0", "X", "M", 10, 1)},
+		{inst("s1", "K", "A", 10, 1)}, // cannot be fed: wants K, gets M
+	}
+	if _, err := QCS(layers, userA, Config{}); err != ErrNoConsistentPath {
+		t.Fatalf("err = %v, want ErrNoConsistentPath", err)
+	}
+	// User requirement unsatisfiable.
+	layers2 := [][]*service.Instance{{inst("s", "X", "B", 1, 1)}}
+	if _, err := QCS(layers2, userA, Config{}); err != ErrNoConsistentPath {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := QCS(nil, userA, Config{}); err == nil {
+		t.Fatal("empty layers must fail")
+	}
+	layers := [][]*service.Instance{{inst("s", "X", "A", 1, 1)}, {}}
+	if _, err := QCS(layers, userA, Config{}); err == nil {
+		t.Fatal("empty layer must fail")
+	}
+	if _, err := Random(nil, userA, xrand.New(1), Config{}); err == nil {
+		t.Fatal("Random on empty layers must fail")
+	}
+	if _, err := Fixed(nil, userA, Config{}); err == nil {
+		t.Fatal("Fixed on empty layers must fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{Weights: []float64{0.5, 0.5, 0.5}}).Validate(); err == nil {
+		t.Fatal("weights summing to 1.5 must fail eq. 3")
+	}
+	if err := (Config{Weights: []float64{1.2, -0.2}}).Validate(); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	if err := (Config{Weights: []float64{0.5, 0.25, 0.25}, RMax: -1}).Validate(); err == nil {
+		t.Fatal("negative RMax must fail")
+	}
+}
+
+func TestEdgeCostFormula(t *testing.T) {
+	cfg := Config{Weights: []float64{0.25, 0.25, 0.5}, RMax: 1000, BMax: 10000}
+	in := inst("x", "M", "A", 100, 500)
+	got := cfg.EdgeCost(in)
+	want := 0.25*100/1000 + 0.25*100/1000 + 0.5*500/10000
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EdgeCost = %v, want %v", got, want)
+	}
+}
+
+func TestRandomConsistentAndDiverse(t *testing.T) {
+	layers := [][]*service.Instance{
+		{
+			inst("a1", "X", "M", 10, 10),
+			inst("a2", "X", "M", 20, 10),
+		},
+		{
+			inst("b1", "M", "A", 10, 10),
+			inst("b2", "M", "A", 20, 10),
+		},
+	}
+	rng := xrand.New(3)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		p, err := Random(layers, userA, rng, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Consistent(p.Instances, userA) {
+			t.Fatal("random path inconsistent")
+		}
+		seen[p.Instances[0].ID+p.Instances[1].ID] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("random composer not diverse: %d distinct paths", len(seen))
+	}
+}
+
+func TestRandomBacktracksThroughDeadEnds(t *testing.T) {
+	// b-dead cannot be fed by any layer-0 instance; random must always
+	// recover via backtracking.
+	layers := [][]*service.Instance{
+		{inst("a", "X", "M", 10, 10)},
+		{
+			inst("b-dead", "K", "A", 1, 1),
+			inst("b-ok", "M", "A", 10, 10),
+		},
+	}
+	rng := xrand.New(4)
+	for i := 0; i < 50; i++ {
+		p, err := Random(layers, userA, rng, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Instances[1].ID != "b-ok" {
+			t.Fatal("random produced an inconsistent path")
+		}
+	}
+}
+
+func TestFixedDeterministic(t *testing.T) {
+	layers := [][]*service.Instance{
+		{
+			inst("a1", "X", "M", 10, 10),
+			inst("a2", "X", "M", 20, 10),
+		},
+		{
+			inst("b1", "M", "A", 10, 10),
+			inst("b2", "M", "A", 20, 10),
+		},
+	}
+	first, err := Fixed(layers, userA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, err := Fixed(layers, userA, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range p.Instances {
+			if p.Instances[j] != first.Instances[j] {
+				t.Fatal("fixed composer must always pick the same path")
+			}
+		}
+	}
+	if !Consistent(first.Instances, userA) {
+		t.Fatal("fixed path inconsistent")
+	}
+}
+
+func TestConsistentHelper(t *testing.T) {
+	a := inst("a", "X", "M", 1, 1)
+	b := inst("b", "M", "A", 1, 1)
+	if !Consistent([]*service.Instance{a, b}, userA) {
+		t.Fatal("valid chain reported inconsistent")
+	}
+	if Consistent([]*service.Instance{b, a}, userA) {
+		t.Fatal("reversed chain reported consistent")
+	}
+	if Consistent(nil, userA) {
+		t.Fatal("empty chain must be inconsistent")
+	}
+}
+
+// Property on the generated catalog: whenever QCS finds a path, the path
+// is consistent, spans every layer, and no other consistent path found by
+// the random composer is cheaper.
+func TestPropertyQCSOptimalOnCatalog(t *testing.T) {
+	cat, err := catalog.New(catalog.Default(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(8)
+	cfg := Config{}
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		req := cat.SampleRequest(rng)
+		layers := make([][]*service.Instance, 0, len(req.App.Path))
+		for _, name := range req.App.Path {
+			layers = append(layers, cat.InstancesOf(name))
+		}
+		best, err := QCS(layers, req.UserQoS, cfg)
+		if err == ErrNoConsistentPath {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		if len(best.Instances) != len(layers) {
+			t.Fatal("QCS path does not span all layers")
+		}
+		if !Consistent(best.Instances, req.UserQoS) {
+			t.Fatal("QCS path inconsistent on catalog instances")
+		}
+		for probe := 0; probe < 30; probe++ {
+			rp, err := Random(layers, req.UserQoS, rng, cfg)
+			if err != nil {
+				t.Fatal("random failed where QCS succeeded")
+			}
+			if rp.Cost < best.Cost-1e-9 {
+				t.Fatalf("random found cheaper path: %v < %v", rp.Cost, best.Cost)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d of 60 catalog requests were composable; catalog too tight", checked)
+	}
+}
+
+// Property: path cost equals the sum of edge costs, for arbitrary weights.
+func TestPropertyCostAdditive(t *testing.T) {
+	check := func(r1, r2, b1, b2 uint16) bool {
+		cfg := Config{}
+		a := inst("a", "X", "M", float64(r1), float64(b1))
+		b := inst("b", "M", "A", float64(r2), float64(b2))
+		total := cfg.PathCost([]*service.Instance{a, b})
+		return math.Abs(total-(cfg.EdgeCost(a)+cfg.EdgeCost(b))) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// enumerate returns the cheapest consistent path cost by brute force.
+func enumerate(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	var rec func(k int, next *service.Instance, cost float64)
+	rec = func(k int, next *service.Instance, cost float64) {
+		if k < 0 {
+			if cost < best {
+				best = cost
+			}
+			found = true
+			return
+		}
+		for _, in := range layers[k] {
+			okHere := false
+			if next == nil {
+				okHere = qos.Satisfies(in.Qout, userQoS)
+			} else {
+				okHere = in.CanFeed(next)
+			}
+			if okHere {
+				rec(k-1, in, cost+cfg.EdgeCost(in))
+			}
+		}
+	}
+	rec(len(layers)-1, nil, 0)
+	return best, found
+}
+
+// Property: QCS matches exhaustive enumeration on random small layered
+// graphs (costs, formats and consistency all randomized).
+func TestPropertyQCSMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(99)
+	cfg := Config{}
+	formats := []string{"A", "B", "C"}
+	for trial := 0; trial < 300; trial++ {
+		nLayers := rng.IntRange(1, 4)
+		layers := make([][]*service.Instance, nLayers)
+		id := 0
+		for k := range layers {
+			n := rng.IntRange(1, 5)
+			for i := 0; i < n; i++ {
+				layers[k] = append(layers[k], inst(
+					fmt.Sprintf("i%d", id),
+					formats[rng.Intn(3)],
+					formats[rng.Intn(3)],
+					rng.FloatRange(1, 500),
+					rng.FloatRange(1, 500),
+				))
+				id++
+			}
+		}
+		user := qos.MustVector(qos.Sym("format", formats[rng.Intn(3)]))
+		want, feasible := enumerate(layers, user, cfg)
+		got, err := QCS(layers, user, cfg)
+		if !feasible {
+			if err != ErrNoConsistentPath {
+				t.Fatalf("trial %d: QCS found a path where none exists", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: QCS failed on feasible graph: %v", trial, err)
+		}
+		if math.Abs(got.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: QCS cost %v, brute force %v", trial, got.Cost, want)
+		}
+	}
+}
+
+func TestSingleLayerPath(t *testing.T) {
+	// Single-hop aggregation (the paper's content-retrieval example).
+	layers := [][]*service.Instance{{
+		inst("x1", "X", "A", 50, 10),
+		inst("x2", "X", "A", 10, 10),
+	}}
+	p, err := QCS(layers, userA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instances[0].ID != "x2" {
+		t.Fatal("single-layer QCS must pick the cheapest satisfying instance")
+	}
+}

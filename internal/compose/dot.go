@@ -1,0 +1,79 @@
+package compose
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/qos"
+	"repro/internal/service"
+)
+
+// WriteDOT renders the layered QoS-consistency graph as Graphviz DOT —
+// the picture of the paper's Figure 3: one column per abstract service,
+// edges where the predecessor's Qout satisfies the successor's Qin, the
+// user node on the right, and (optionally) a chosen path highlighted.
+//
+// chosen may be nil; when given it must be one instance per layer.
+func WriteDOT(w io.Writer, layers [][]*service.Instance, userQoS qos.Vector, chosen []*service.Instance) error {
+	if err := validateLayers(layers); err != nil {
+		return err
+	}
+	if chosen != nil && len(chosen) != len(layers) {
+		return fmt.Errorf("compose: chosen path has %d instances for %d layers", len(chosen), len(layers))
+	}
+	onPath := make(map[*service.Instance]bool, len(chosen))
+	for _, in := range chosen {
+		onPath[in] = true
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, `"`, `\"`) }
+
+	var b strings.Builder
+	b.WriteString("digraph qcs {\n")
+	b.WriteString("    rankdir=LR;\n")
+	b.WriteString("    node [shape=box, fontsize=11];\n")
+	for k, layer := range layers {
+		fmt.Fprintf(&b, "    subgraph cluster_%d {\n", k)
+		fmt.Fprintf(&b, "        label=\"%s\";\n", esc(string(layer[0].Service)))
+		for _, in := range layer {
+			attr := ""
+			if onPath[in] {
+				attr = ", style=filled, fillcolor=\"#cfe8ff\""
+			}
+			fmt.Fprintf(&b, "        \"%s\" [label=\"%s\\nR=%s b=%g\"%s];\n",
+				esc(in.ID), esc(in.ID), in.R.String(), in.OutKbps, attr)
+		}
+		b.WriteString("    }\n")
+	}
+	b.WriteString("    user [shape=ellipse, label=\"user\"];\n")
+
+	// Consistency edges between adjacent layers.
+	for k := 0; k+1 < len(layers); k++ {
+		for _, from := range layers[k] {
+			for _, to := range layers[k+1] {
+				if !from.CanFeed(to) {
+					continue
+				}
+				attr := ""
+				if onPath[from] && onPath[to] {
+					attr = " [penwidth=2.5, color=\"#1f77b4\"]"
+				}
+				fmt.Fprintf(&b, "    \"%s\" -> \"%s\"%s;\n", esc(from.ID), esc(to.ID), attr)
+			}
+		}
+	}
+	// Final layer to the user.
+	for _, in := range layers[len(layers)-1] {
+		if !qos.Satisfies(in.Qout, userQoS) {
+			continue
+		}
+		attr := ""
+		if onPath[in] {
+			attr = " [penwidth=2.5, color=\"#1f77b4\"]"
+		}
+		fmt.Fprintf(&b, "    \"%s\" -> user%s;\n", esc(in.ID), attr)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,68 @@
+package compose
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func TestWriteDOT(t *testing.T) {
+	layers := [][]*service.Instance{
+		{
+			inst("a1", "X", "M", 10, 10),
+			inst("a2", "X", "K", 20, 10),
+		},
+		{
+			inst("b1", "M", "A", 10, 10),
+			inst("b2", "K", "A", 20, 10),
+		},
+	}
+	p, err := QCS(layers, userA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, layers, userA, p.Instances); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph qcs", "cluster_0", "cluster_1", `"a1"`, `"b2"`, "-> user",
+		"fillcolor", "penwidth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly the consistent edges appear: a1→b1 (M) and a2→b2 (K); no
+	// cross edges.
+	if !strings.Contains(out, `"a1" -> "b1"`) || !strings.Contains(out, `"a2" -> "b2"`) {
+		t.Fatal("consistent edges missing")
+	}
+	if strings.Contains(out, `"a1" -> "b2"`) || strings.Contains(out, `"a2" -> "b1"`) {
+		t.Fatal("inconsistent edges drawn")
+	}
+}
+
+func TestWriteDOTWithoutPath(t *testing.T) {
+	layers := [][]*service.Instance{{inst("solo", "X", "A", 1, 1)}}
+	var b strings.Builder
+	if err := WriteDOT(&b, layers, userA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "fillcolor") {
+		t.Fatal("no highlight expected without a chosen path")
+	}
+}
+
+func TestWriteDOTValidation(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDOT(&b, nil, userA, nil); err == nil {
+		t.Fatal("empty layers must fail")
+	}
+	layers := [][]*service.Instance{{inst("a", "X", "A", 1, 1)}}
+	if err := WriteDOT(&b, layers, userA, make([]*service.Instance, 2)); err == nil {
+		t.Fatal("wrong chosen length must fail")
+	}
+}

@@ -1,0 +1,334 @@
+// Package core integrates the two tiers of the QSA model into the
+// end-to-end aggregation pipeline of the paper's §3.2:
+//
+//	acquire request → discover candidate instances (DHT lookup) →
+//	compose a QoS-consistent service path → select provisioning peers →
+//	admit the session (reserve resources and bandwidth).
+//
+// It also implements the runtime recovery extension (paper §6 future
+// work): when a provisioning peer departs, the failed component is
+// re-discovered and re-selected from its downstream neighbor.
+//
+// The same engine runs the paper's three evaluated strategies and the
+// ablation hybrids; Strategy picks the composer and the selector
+// independently. Both the simulator (internal/sim) and the public façade
+// (package qsa) delegate here, so the pipeline exists exactly once.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/compose"
+	"repro/internal/probe"
+	"repro/internal/registry"
+	"repro/internal/selection"
+	"repro/internal/service"
+	"repro/internal/session"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// ComposeKind selects the composition-tier algorithm.
+type ComposeKind int
+
+// Composition algorithms.
+const (
+	// ComposeQCS is the paper's QoS-consistent shortest composition.
+	ComposeQCS ComposeKind = iota
+	// ComposeRandom picks a random QoS-consistent path.
+	ComposeRandom
+	// ComposeFixed always picks the same QoS-consistent path.
+	ComposeFixed
+)
+
+// SelectKind selects the peer-selection-tier algorithm.
+type SelectKind int
+
+// Peer selection algorithms.
+const (
+	// SelectPhi is the paper's Φ-based dynamic peer selection.
+	SelectPhi SelectKind = iota
+	// SelectRandom picks uniform random providers.
+	SelectRandom
+	// SelectFixed picks the dedicated (lowest-ID) provider.
+	SelectFixed
+)
+
+// Strategy pairs a composer with a selector.
+type Strategy struct {
+	Compose ComposeKind
+	Select  SelectKind
+
+	// Retries is the number of recomposition attempts after a selection or
+	// admission failure: the failed path's instances are excluded and the
+	// composer runs again over the remaining candidates. This serves the
+	// paper's efficiency goal (§3: "utilize resource pools ... so that it
+	// can admit as many user requests as possible") — when the cheapest
+	// instances' provider pools saturate, QSA falls over to the
+	// next-cheapest tier instead of rejecting the request. 0 disables
+	// (the paper-literal single-shot behaviour).
+	Retries int
+}
+
+// The paper's three evaluated strategies. QSA retries twice; the
+// baselines are single-shot (neither random nor fixed has a notion of a
+// "next best" path).
+var (
+	StrategyQSA    = Strategy{Compose: ComposeQCS, Select: SelectPhi, Retries: 2}
+	StrategyRandom = Strategy{Compose: ComposeRandom, Select: SelectRandom}
+	StrategyFixed  = Strategy{Compose: ComposeFixed, Select: SelectFixed}
+)
+
+// Stage identifies where in the pipeline a request failed.
+type Stage int
+
+// Pipeline stages, in order.
+const (
+	// StageNone means the request was admitted.
+	StageNone Stage = iota
+	// StageDiscovery means some abstract service had no candidates.
+	StageDiscovery
+	// StageCompose means no QoS-consistent path exists.
+	StageCompose
+	// StageSelection means no peer could be selected at some hop.
+	StageSelection
+	// StageAdmission means a reservation was rejected.
+	StageAdmission
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "admitted"
+	case StageDiscovery:
+		return "discovery"
+	case StageCompose:
+		return "compose"
+	case StageSelection:
+		return "selection"
+	case StageAdmission:
+		return "admission"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// ErrAggregation wraps pipeline failures with their stage.
+type ErrAggregation struct {
+	Stage Stage
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *ErrAggregation) Error() string {
+	return fmt.Sprintf("core: %v failed: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *ErrAggregation) Unwrap() error { return e.Err }
+
+// StageOf extracts the failure stage from an aggregation error; StageNone
+// for nil or foreign errors.
+func StageOf(err error) Stage {
+	var ea *ErrAggregation
+	if errors.As(err, &ea) {
+		return ea.Stage
+	}
+	return StageNone
+}
+
+// Aggregator is the integrated QSA engine over a grid's subsystems.
+type Aggregator struct {
+	Registry *registry.Registry
+	Sessions *session.Manager
+
+	// PhiSelector performs informed Φ selection (and recovery).
+	PhiSelector *selection.Selector
+	// RandomSelector and FixedSelector are the baseline selectors.
+	RandomSelector *selection.Random
+	FixedSelector  *selection.Fixed
+
+	// ComposeConfig carries the Definition 3.1 weights.
+	ComposeConfig compose.Config
+
+	// RNG drives the random composer.
+	RNG *xrand.Source
+}
+
+// Discovery is the result of looking up every service of an abstract path.
+type Discovery struct {
+	Layers  [][]*service.Instance
+	Entries [][]*registry.InstanceEntry
+}
+
+// Discover performs the DHT lookups for the request's abstract path from
+// the user's peer.
+func (a *Aggregator) Discover(user topology.PeerID, path []service.Name, now float64) (*Discovery, error) {
+	d := &Discovery{
+		Layers:  make([][]*service.Instance, len(path)),
+		Entries: make([][]*registry.InstanceEntry, len(path)),
+	}
+	for k, name := range path {
+		es, _, err := a.Registry.Lookup(user, name, now)
+		if err != nil {
+			return nil, &ErrAggregation{StageDiscovery, err}
+		}
+		if len(es) == 0 {
+			return nil, &ErrAggregation{StageDiscovery, fmt.Errorf("no candidates for %q", name)}
+		}
+		d.Entries[k] = es
+		layer := make([]*service.Instance, len(es))
+		for i, e := range es {
+			layer[i] = e.Inst
+		}
+		d.Layers[k] = layer
+	}
+	return d, nil
+}
+
+// Providers returns the live provider peers of the chosen instance at
+// layer k of the discovery.
+func (d *Discovery) Providers(k int, inst *service.Instance, now float64) []topology.PeerID {
+	for _, e := range d.Entries[k] {
+		if e.Inst == inst {
+			return e.Providers(now, nil)
+		}
+	}
+	return nil
+}
+
+// Aggregate runs the full pipeline for one request. On success it returns
+// the admitted session; on failure, an *ErrAggregation carrying the stage
+// of the final attempt.
+func (a *Aggregator) Aggregate(user topology.PeerID, req *service.Request,
+	now float64, strat Strategy) (*session.Session, error) {
+
+	if err := req.Validate(); err != nil {
+		return nil, &ErrAggregation{StageDiscovery, err}
+	}
+	disc, err := a.Discover(user, req.App.Path, now)
+	if err != nil {
+		return nil, err
+	}
+
+	layers := disc.Layers
+	var lastErr error
+	for attempt := 0; attempt <= strat.Retries; attempt++ {
+		sess, path, err := a.attempt(user, req, now, strat, disc, layers)
+		if err == nil {
+			return sess, nil
+		}
+		lastErr = err
+		stage := StageOf(err)
+		if stage != StageSelection && stage != StageAdmission || path == nil {
+			return nil, err // compose failures cannot improve by retrying
+		}
+		// Exclude the failed path's instances and recompose over the rest.
+		next := make([][]*service.Instance, len(layers))
+		for k := range layers {
+			for _, in := range layers[k] {
+				if in != path.Instances[k] {
+					next[k] = append(next[k], in)
+				}
+			}
+			if len(next[k]) == 0 {
+				return nil, err // a layer ran out of candidates
+			}
+		}
+		layers = next
+	}
+	return nil, lastErr
+}
+
+// attempt runs one compose→select→admit pass over the given layers.
+func (a *Aggregator) attempt(user topology.PeerID, req *service.Request, now float64,
+	strat Strategy, disc *Discovery, layers [][]*service.Instance) (*session.Session, *compose.Path, error) {
+
+	var path *compose.Path
+	var err error
+	switch strat.Compose {
+	case ComposeQCS:
+		path, err = compose.QCS(layers, req.UserQoS, a.ComposeConfig)
+	case ComposeRandom:
+		path, err = compose.Random(layers, req.UserQoS, a.RNG, a.ComposeConfig)
+	case ComposeFixed:
+		path, err = compose.Fixed(layers, req.UserQoS, a.ComposeConfig)
+	default:
+		err = fmt.Errorf("unknown composer %d", strat.Compose)
+	}
+	if err != nil {
+		return nil, nil, &ErrAggregation{StageCompose, err}
+	}
+
+	providers := make([][]topology.PeerID, len(path.Instances))
+	for k, inst := range path.Instances {
+		providers[k] = disc.Providers(k, inst, now)
+		if len(providers[k]) == 0 {
+			return nil, path, &ErrAggregation{StageSelection, fmt.Errorf("no live providers for %s", inst.ID)}
+		}
+	}
+	var peers []topology.PeerID
+	var ok bool
+	switch strat.Select {
+	case SelectPhi:
+		peers, ok = a.PhiSelector.SelectPath(user, path.Instances, providers, req.Duration, now)
+	case SelectRandom:
+		peers, ok = a.RandomSelector.SelectPath(user, path.Instances, providers, req.Duration, now)
+	case SelectFixed:
+		peers, ok = a.FixedSelector.SelectPath(user, path.Instances, providers, req.Duration, now)
+	}
+	if !ok {
+		return nil, path, &ErrAggregation{StageSelection, fmt.Errorf("no selectable peer")}
+	}
+
+	sess, err := a.Sessions.Admit(user, path.Instances, peers, req.Duration)
+	if err != nil {
+		return nil, path, &ErrAggregation{StageAdmission, err}
+	}
+	return sess, path, nil
+}
+
+// PathCost exposes the aggregated Definition 3.1 cost of an instance
+// sequence.
+func (a *Aggregator) PathCost(instances []*service.Instance) float64 {
+	return a.ComposeConfig.PathCost(instances)
+}
+
+// Recover re-selects a replacement peer for component k of a session whose
+// host departed — the session.RecoveryFunc implementation. The replacement
+// is chosen from the component's current live providers by the downstream
+// neighbor, using the Φ selector.
+func (a *Aggregator) Recover(s *session.Session, k int, now float64) (topology.PeerID, bool) {
+	downstream := s.User
+	if k < len(s.Peers)-1 {
+		downstream = s.Peers[k+1]
+	}
+	inst := s.Instances[k]
+	entries, _, err := a.Registry.Lookup(downstream, inst.Service, now)
+	if err != nil {
+		return -1, false
+	}
+	var cands []topology.PeerID
+	for _, e := range entries {
+		if e.Inst == inst {
+			cands = e.Providers(now, cands)
+			break
+		}
+	}
+	// The failed host is known to be gone regardless of what (possibly
+	// stale, within the probe period) measurements claim — exclude it.
+	dead := s.Peers[k]
+	live := cands[:0]
+	for _, c := range cands {
+		if c != dead {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return -1, false
+	}
+	remaining := s.Start + s.Duration - now
+	return a.PhiSelector.SelectNext(downstream, inst, live, remaining, now, probe.IndirectRank(1))
+}

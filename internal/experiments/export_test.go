@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCurveChartAndCSV(t *testing.T) {
+	c, err := Fig5(tinyScale(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := c.Chart()
+	if len(ch.Lines) != len(sim.Algorithms) {
+		t.Fatalf("chart lines = %d", len(ch.Lines))
+	}
+	var svg strings.Builder
+	if err := ch.SVG(&svg); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(strings.NewReader(svg.String()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() != "EOF" {
+				t.Fatalf("figure SVG not well-formed: %v", err)
+			}
+			break
+		}
+	}
+
+	var out strings.Builder
+	if err := WriteCurveCSV(&out, c); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(c.Points) {
+		t.Fatalf("CSV rows = %d", len(rows))
+	}
+	if rows[0][1] != "psi_qsa" || rows[0][2] != "psi_random" || rows[0][3] != "psi_fixed" {
+		t.Fatalf("CSV header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if len(row) != 4 {
+			t.Fatalf("CSV row = %v", row)
+		}
+	}
+}
+
+func TestSeriesChartAndCSV(t *testing.T) {
+	set, err := Fig8(tinyScale(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := set.Chart()
+	if len(ch.Lines) != len(sim.Algorithms) {
+		t.Fatalf("chart lines = %d", len(ch.Lines))
+	}
+	var svg strings.Builder
+	if err := ch.SVG(&svg); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := WriteSeriesCSV(&out, set); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("CSV rows = %d", len(rows))
+	}
+	if rows[0][0] != "time_min" {
+		t.Fatalf("CSV header = %v", rows[0])
+	}
+}

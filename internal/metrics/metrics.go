@@ -1,0 +1,142 @@
+// Package metrics accumulates the QSA evaluation metric ψ — the service
+// aggregation request success ratio (paper §4.1): a request is successful
+// iff all of its service instances' resource requirements stay satisfied
+// along the aggregation path for the entire session, i.e. it is admitted
+// and no provisioning peer departs before the session ends.
+//
+// Outcomes are attributed to the minute the request was issued, which is
+// how the paper's fluctuation plots (Figures 6 and 8) sample ψ over time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ratio is a success/failure counter.
+type Ratio struct {
+	Success, Failure uint64
+}
+
+// Add records one outcome.
+func (r *Ratio) Add(ok bool) {
+	if ok {
+		r.Success++
+	} else {
+		r.Failure++
+	}
+}
+
+// Total returns the number of recorded outcomes.
+func (r Ratio) Total() uint64 { return r.Success + r.Failure }
+
+// Value returns ψ in [0,1], or NaN when nothing was recorded.
+func (r Ratio) Value() float64 {
+	if r.Total() == 0 {
+		return math.NaN()
+	}
+	return float64(r.Success) / float64(r.Total())
+}
+
+// String renders e.g. "87.5% (350/400)".
+func (r Ratio) String() string {
+	if r.Total() == 0 {
+		return "n/a (0/0)"
+	}
+	return fmt.Sprintf("%.1f%% (%d/%d)", 100*r.Value(), r.Success, r.Total())
+}
+
+// Sampler buckets outcomes into fixed windows by issue time and produces
+// the ψ-over-time series of the paper's fluctuation figures.
+type Sampler struct {
+	window  float64 // minutes per bucket (paper Fig. 6: 2)
+	buckets map[int]*Ratio
+	total   Ratio
+}
+
+// NewSampler returns a sampler with the given window length in minutes.
+func NewSampler(window float64) *Sampler {
+	if window <= 0 {
+		panic("metrics: non-positive sampling window")
+	}
+	return &Sampler{window: window, buckets: make(map[int]*Ratio)}
+}
+
+// Record attributes one outcome to the window containing issueTime.
+func (s *Sampler) Record(issueTime float64, ok bool) {
+	b := int(issueTime / s.window)
+	r, ok2 := s.buckets[b]
+	if !ok2 {
+		r = &Ratio{}
+		s.buckets[b] = r
+	}
+	r.Add(ok)
+	s.total.Add(ok)
+}
+
+// Total returns the run-wide ratio.
+func (s *Sampler) Total() Ratio { return s.total }
+
+// Point is one sample of the ψ time series.
+type Point struct {
+	Time  float64 // end of the window, in minutes
+	Value float64 // ψ within the window
+	N     uint64  // outcomes in the window
+}
+
+// Series returns the windows in time order. Empty windows are skipped.
+func (s *Sampler) Series() []Point {
+	keys := make([]int, 0, len(s.buckets))
+	for k := range s.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		r := s.buckets[k]
+		out = append(out, Point{
+			Time:  float64(k+1) * s.window,
+			Value: r.Value(),
+			N:     r.Total(),
+		})
+	}
+	return out
+}
+
+// Summary holds simple descriptive statistics.
+type Summary struct {
+	N                     int
+	Mean, Min, Max, Stdev float64
+}
+
+// Summarize computes descriptive statistics of a series' values, skipping
+// NaNs.
+func Summarize(points []Point) Summary {
+	var sum, sq float64
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, p := range points {
+		if math.IsNaN(p.Value) {
+			continue
+		}
+		s.N++
+		sum += p.Value
+		sq += p.Value * p.Value
+		if p.Value < s.Min {
+			s.Min = p.Value
+		}
+		if p.Value > s.Max {
+			s.Max = p.Value
+		}
+	}
+	if s.N == 0 {
+		return Summary{Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), Stdev: math.NaN()}
+	}
+	s.Mean = sum / float64(s.N)
+	v := sq/float64(s.N) - s.Mean*s.Mean
+	if v < 0 {
+		v = 0
+	}
+	s.Stdev = math.Sqrt(v)
+	return s
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if !math.IsNaN(r.Value()) {
+		t.Fatal("empty ratio must be NaN")
+	}
+	if r.String() != "n/a (0/0)" {
+		t.Fatalf("String = %q", r.String())
+	}
+	r.Add(true)
+	r.Add(true)
+	r.Add(false)
+	if r.Total() != 3 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if math.Abs(r.Value()-2.0/3) > 1e-12 {
+		t.Fatalf("Value = %v", r.Value())
+	}
+	if r.String() != "66.7% (2/3)" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestSamplerWindows(t *testing.T) {
+	s := NewSampler(2)
+	s.Record(0.5, true)
+	s.Record(1.9, false)
+	s.Record(2.1, true)
+	s.Record(6.5, true) // window [6,8): gap at [4,6)
+	pts := s.Series()
+	if len(pts) != 3 {
+		t.Fatalf("series = %v", pts)
+	}
+	if pts[0].Time != 2 || pts[0].Value != 0.5 || pts[0].N != 2 {
+		t.Fatalf("window 0 = %+v", pts[0])
+	}
+	if pts[1].Time != 4 || pts[1].Value != 1 {
+		t.Fatalf("window 1 = %+v", pts[1])
+	}
+	if pts[2].Time != 8 {
+		t.Fatalf("window 2 = %+v", pts[2])
+	}
+	if s.Total().Total() != 4 || s.Total().Success != 3 {
+		t.Fatalf("total = %+v", s.Total())
+	}
+}
+
+func TestSamplerPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window must panic")
+		}
+	}()
+	NewSampler(0)
+}
+
+func TestSummarize(t *testing.T) {
+	pts := []Point{{Value: 0.5}, {Value: 1.0}, {Value: math.NaN()}, {Value: 0.0}}
+	s := Summarize(pts)
+	if s.N != 3 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-0.5) > 1e-12 || s.Min != 0 || s.Max != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	want := math.Sqrt((0.25 + 0.25 + 0) / 3)
+	if math.Abs(s.Stdev-want) > 1e-9 {
+		t.Fatalf("Stdev = %v, want %v", s.Stdev, want)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+// Property: sampler total equals the sum over windows, and every window
+// value is a valid ratio.
+func TestPropertySamplerConsistent(t *testing.T) {
+	check := func(events []struct {
+		T  uint8
+		OK bool
+	}) bool {
+		s := NewSampler(2)
+		for _, e := range events {
+			s.Record(float64(e.T), e.OK)
+		}
+		var n, succ uint64
+		for _, p := range s.Series() {
+			if p.N == 0 || math.IsNaN(p.Value) {
+				return false
+			}
+			if p.Value < 0 || p.Value > 1 {
+				return false
+			}
+			n += p.N
+			succ += uint64(math.Round(p.Value * float64(p.N)))
+		}
+		return n == s.Total().Total() && succ == s.Total().Success
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

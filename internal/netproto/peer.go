@@ -1,0 +1,740 @@
+package netproto
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/compose"
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/selection"
+	"repro/internal/service"
+)
+
+// Config parameterizes a network peer.
+type Config struct {
+	// Listen is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// port).
+	Listen string
+	// CPU and Memory are the peer's end-system capacity units.
+	CPU, Memory float64
+	// Weights are the Φ weights [cpu, memory, network]; default uniform.
+	Weights []float64
+	// RPCTimeout bounds every remote call. Default 2 s.
+	RPCTimeout time.Duration
+	// ProbeCacheTTL is how long probe results are reused. Default 1 s.
+	ProbeCacheTTL time.Duration
+	// MonitorInterval enables runtime failure detection and recovery (the
+	// paper's §6 future work): sessions this peer initiates are probed at
+	// this interval, and a component whose host stopped responding is
+	// re-selected and re-reserved on a replacement provider. 0 disables
+	// monitoring.
+	MonitorInterval time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Weights) == 0 {
+		c.Weights = []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+	if c.ProbeCacheTTL == 0 {
+		c.ProbeCacheTTL = time.Second
+	}
+}
+
+// probeResult is one cached measurement of a remote peer.
+type probeResult struct {
+	avail    resource.Vector
+	uptime   time.Duration
+	rtt      time.Duration
+	alive    bool
+	measured time.Time
+}
+
+// Plan is an admitted aggregation: instance IDs and the peer addresses
+// hosting them, in aggregation-flow order.
+type Plan struct {
+	SessionID string
+	Instances []string
+	Peers     []string
+	Cost      float64
+}
+
+// SessionStatus is the lifecycle state of a session this peer initiated.
+type SessionStatus string
+
+// Session lifecycle states (only tracked when monitoring is enabled).
+const (
+	StatusActive    SessionStatus = "active"
+	StatusCompleted SessionStatus = "completed"
+	StatusFailed    SessionStatus = "failed"
+)
+
+// initiated tracks one session this peer started, for monitoring.
+type initiated struct {
+	sid        string
+	instances  []*service.Instance
+	hosts      []string
+	candidates map[string][]string
+	deadline   time.Time
+	status     SessionStatus
+	recovered  int
+}
+
+// Peer is one QSA prototype node.
+type Peer struct {
+	cfg Config
+
+	ln    net.Listener
+	addr  string
+	start time.Time
+
+	mu        sync.Mutex
+	members   map[string]bool // other peers' addresses
+	provides  map[string]*service.Instance
+	ledger    *resource.Ledger
+	sessions  map[string]resource.Vector // sessionID -> held reservation
+	initiated map[string]*initiated      // sessions this peer started
+	probes    map[string]probeResult
+	nextSess  uint64
+	closed    bool
+
+	done chan struct{} // closed on Close; stops session monitors
+	wg   sync.WaitGroup
+}
+
+// Start launches a peer listening on cfg.Listen.
+func Start(cfg Config) (*Peer, error) {
+	cfg.fillDefaults()
+	if cfg.CPU < 0 || cfg.Memory < 0 {
+		return nil, fmt.Errorf("netproto: negative capacity")
+	}
+	ledger, err := resource.NewLedger(resource.Vec2(cfg.CPU, cfg.Memory))
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{
+		cfg:       cfg,
+		ln:        ln,
+		addr:      ln.Addr().String(),
+		start:     time.Now(),
+		members:   make(map[string]bool),
+		provides:  make(map[string]*service.Instance),
+		ledger:    ledger,
+		sessions:  make(map[string]resource.Vector),
+		initiated: make(map[string]*initiated),
+		probes:    make(map[string]probeResult),
+		done:      make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the peer's listen address.
+func (p *Peer) Addr() string { return p.addr }
+
+// Uptime returns how long the peer has been running.
+func (p *Peer) Uptime() time.Duration { return time.Since(p.start) }
+
+// Leave departs gracefully: every known member is told to drop this peer
+// from its membership (so discovery stops offering it), then the listener
+// closes. Sessions this peer hosts are lost either way — the initiators'
+// monitors recover them if enabled.
+func (p *Peer) Leave() error {
+	for _, m := range p.Members() {
+		rpc(m, request{Type: msgLeave, Addr: p.addr}, p.cfg.RPCTimeout)
+	}
+	return p.Close()
+}
+
+// Close departs abruptly: the listener stops, in-flight handlers finish.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// Join connects the peer into an existing overlay through any bootstrap
+// member and announces it to everyone it learns about.
+func (p *Peer) Join(bootstrap string) error {
+	resp, err := rpc(bootstrap, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.members[bootstrap] = true
+	for _, m := range resp.Members {
+		if m != p.addr {
+			p.members[m] = true
+		}
+	}
+	members := p.memberListLocked()
+	p.mu.Unlock()
+	// Announce to the rest (best effort; the bootstrap already knows).
+	for _, m := range members {
+		if m == bootstrap {
+			continue
+		}
+		rpc(m, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
+	}
+	return nil
+}
+
+// Members returns the known membership, self excluded, sorted.
+func (p *Peer) Members() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.memberListLocked()
+}
+
+func (p *Peer) memberListLocked() []string {
+	out := make([]string, 0, len(p.members))
+	for m := range p.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Provide registers a service instance this peer can host.
+func (p *Peer) Provide(in *service.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.provides[in.ID] = in
+	return nil
+}
+
+// Available returns the currently unreserved capacity.
+func (p *Peer) Available() resource.Vector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ledger.Available()
+}
+
+// ReserveLocal reserves capacity for workload outside any QSA session
+// (e.g. the owner's own use); it reports whether the reservation fit.
+// Release it with ReleaseLocal.
+func (p *Peer) ReserveLocal(cpu, mem float64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ledger.Reserve(resource.Vec2(cpu, mem))
+}
+
+// ReleaseLocal returns a ReserveLocal reservation.
+func (p *Peer) ReleaseLocal(cpu, mem float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ledger.Release(resource.Vec2(cpu, mem))
+}
+
+// ActiveSessions returns the number of reservations currently held.
+func (p *Peer) ActiveSessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sessions)
+}
+
+// serve accepts connections until Close.
+func (p *Peer) serve() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer conn.Close()
+			p.handle(conn)
+		}()
+	}
+}
+
+func (p *Peer) handle(conn net.Conn) {
+	// Generous deadline: a select request recurses through the remaining
+	// hops before this handler can answer.
+	conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout * 16))
+	dec := json.NewDecoder(conn)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	resp := p.dispatch(req)
+	json.NewEncoder(conn).Encode(resp)
+}
+
+func (p *Peer) dispatch(req request) response {
+	switch req.Type {
+	case msgJoin:
+		return p.handleJoin(req)
+	case msgLeave:
+		return p.handleLeave(req)
+	case msgLookup:
+		return p.handleLookup(req)
+	case msgProbe:
+		return p.handleProbe()
+	case msgSelect:
+		return p.handleSelect(req)
+	case msgReserve:
+		return p.handleReserve(req)
+	case msgRelease:
+		return p.handleRelease(req)
+	default:
+		return response{Err: fmt.Sprintf("unknown message %q", req.Type)}
+	}
+}
+
+func (p *Peer) handleJoin(req request) response {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	members := append(p.memberListLocked(), p.addr)
+	if req.Addr != "" && req.Addr != p.addr {
+		p.members[req.Addr] = true
+	}
+	return response{OK: true, Members: members}
+}
+
+func (p *Peer) handleLeave(req request) response {
+	p.mu.Lock()
+	delete(p.members, req.Addr)
+	delete(p.probes, req.Addr)
+	p.mu.Unlock()
+	return response{OK: true}
+}
+
+func (p *Peer) handleLookup(req request) response {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var offers []offer
+	for _, in := range p.provides {
+		if string(in.Service) == req.Service {
+			offers = append(offers, offer{Instance: ToWire(in), Provider: p.addr})
+		}
+	}
+	sort.Slice(offers, func(i, j int) bool { return offers[i].Instance.ID < offers[j].Instance.ID })
+	return response{OK: true, Offers: offers}
+}
+
+func (p *Peer) handleProbe() response {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return response{
+		OK:        true,
+		Avail:     p.ledger.Available(),
+		UptimeSec: time.Since(p.start).Seconds(),
+	}
+}
+
+func (p *Peer) handleReserve(req request) response {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	need := resource.Vec2(req.CPU, req.Memory)
+	if !p.ledger.Reserve(need) {
+		return response{Err: "insufficient resources"}
+	}
+	// A session may place several components on the same host; the
+	// reservations accumulate and release together.
+	if held, ok := p.sessions[req.SessionID]; ok {
+		p.sessions[req.SessionID] = held.Add(need)
+	} else {
+		p.sessions[req.SessionID] = need
+	}
+	dur := time.Duration(req.DurationSec * float64(time.Second))
+	sid := req.SessionID
+	time.AfterFunc(dur, func() { p.releaseSession(sid) })
+	return response{OK: true}
+}
+
+func (p *Peer) handleRelease(req request) response {
+	p.releaseSession(req.SessionID)
+	return response{OK: true}
+}
+
+func (p *Peer) releaseSession(sid string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if held, ok := p.sessions[sid]; ok {
+		p.ledger.Release(held)
+		delete(p.sessions, sid)
+	}
+}
+
+// probe measures a candidate (with a short-lived cache). The prober's own
+// RTT measurement supplies the network term.
+func (p *Peer) probe(addr string) probeResult {
+	p.mu.Lock()
+	if cached, ok := p.probes[addr]; ok && time.Since(cached.measured) < p.cfg.ProbeCacheTTL {
+		p.mu.Unlock()
+		return cached
+	}
+	p.mu.Unlock()
+	start := time.Now()
+	resp, err := rpc(addr, request{Type: msgProbe}, p.cfg.RPCTimeout)
+	res := probeResult{measured: time.Now()}
+	if err == nil {
+		res.alive = true
+		res.avail = resp.Avail
+		res.uptime = time.Duration(resp.UptimeSec * float64(time.Second))
+		res.rtt = time.Since(start)
+	}
+	p.mu.Lock()
+	p.probes[addr] = res
+	p.mu.Unlock()
+	return res
+}
+
+// netTerm converts a measured RTT into Φ's network term: a prototype has
+// no pairwise bottleneck-bandwidth oracle, so 100/(1+RTT_ms) stands in
+// (closer peers look better), normalized against bNet = 1.
+func netTerm(rtt time.Duration) float64 {
+	return 100 / (1 + float64(rtt.Milliseconds()))
+}
+
+// selectNext is one hop-by-hop selection step executed AT THIS PEER: probe
+// the candidates, apply the paper's filters, maximize Φ.
+func (p *Peer) selectNext(inst *service.Instance, candidates []string, duration time.Duration) (string, bool) {
+	type scored struct {
+		addr string
+		phi  float64
+		up   bool
+	}
+	var best, bestAny *scored
+	for _, c := range candidates {
+		if c == p.addr {
+			continue
+		}
+		res := p.probe(c)
+		if !res.alive {
+			continue
+		}
+		if !res.avail.Fits(inst.R) {
+			continue
+		}
+		phi := selection.PhiValue(p.cfg.Weights, res.avail, netTerm(res.rtt), inst.R, 1)
+		s := &scored{addr: c, phi: phi, up: res.uptime >= duration}
+		if s.up {
+			if best == nil || s.phi > best.phi {
+				best = s
+			}
+		} else if bestAny == nil || s.phi > bestAny.phi {
+			bestAny = s
+		}
+	}
+	if best != nil {
+		return best.addr, true
+	}
+	if bestAny != nil {
+		return bestAny.addr, true
+	}
+	return "", false
+}
+
+// handleSelect continues the distributed reverse-flow selection: choose
+// the host for instance Idx, then forward to it for Idx−1.
+func (p *Peer) handleSelect(req request) response {
+	if req.Idx < 0 || req.Idx >= len(req.Instances) {
+		return response{Err: "bad hop index"}
+	}
+	inst, err := FromWire(req.Instances[req.Idx])
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	duration := time.Duration(req.DurationSec * float64(time.Second))
+	chosen, ok := p.selectNext(inst, req.Candidates[inst.ID], duration)
+	if !ok {
+		return response{Err: fmt.Sprintf("no selectable peer for %s", inst.ID)}
+	}
+	chain := append([]string{chosen}, req.Chain...)
+	if req.Idx == 0 {
+		return response{OK: true, Chain: chain}
+	}
+	next := req
+	next.Idx--
+	next.Chain = chain
+	resp, err := rpc(chosen, next, p.cfg.RPCTimeout*time.Duration(req.Idx+1))
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	return *resp
+}
+
+// Aggregate runs the full two-tier model from this peer as the user's
+// host: discover, compose (QCS), select hop-by-hop over the network, and
+// reserve.
+func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.Duration) (*Plan, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("netproto: empty path")
+	}
+	members := append(p.Members(), p.addr)
+
+	// Discovery fan-out, one goroutine per member.
+	type lookupResult struct {
+		svc    int
+		offers []offer
+	}
+	results := make(chan lookupResult, len(members)*len(path))
+	var wg sync.WaitGroup
+	for si, svc := range path {
+		for _, m := range members {
+			wg.Add(1)
+			go func(si int, svc service.Name, m string) {
+				defer wg.Done()
+				if m == p.addr {
+					resp := p.handleLookup(request{Service: string(svc)})
+					results <- lookupResult{svc: si, offers: resp.Offers}
+					return
+				}
+				resp, err := rpc(m, request{Type: msgLookup, Service: string(svc)}, p.cfg.RPCTimeout)
+				if err == nil {
+					results <- lookupResult{svc: si, offers: resp.Offers}
+				}
+			}(si, svc, m)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	layers := make([][]*service.Instance, len(path))
+	providers := make(map[string][]string) // instance ID -> provider addrs
+	seen := make(map[int]map[string]*service.Instance)
+	for r := range results {
+		for _, off := range r.offers {
+			in, err := FromWire(off.Instance)
+			if err != nil {
+				continue
+			}
+			if seen[r.svc] == nil {
+				seen[r.svc] = make(map[string]*service.Instance)
+			}
+			if prev, ok := seen[r.svc][in.ID]; ok {
+				in = prev
+			} else {
+				seen[r.svc][in.ID] = in
+				layers[r.svc] = append(layers[r.svc], in)
+			}
+			providers[in.ID] = append(providers[in.ID], off.Provider)
+		}
+	}
+	for k := range layers {
+		if len(layers[k]) == 0 {
+			return nil, fmt.Errorf("netproto: no candidates for %q", path[k])
+		}
+		sort.Slice(layers[k], func(i, j int) bool { return layers[k][i].ID < layers[k][j].ID })
+	}
+	for id := range providers {
+		sort.Strings(providers[id])
+	}
+
+	// Tier 1: composition.
+	composed, err := compose.QCS(layers, userQoS, compose.Config{Weights: p.cfg.Weights})
+	if err != nil {
+		return nil, err
+	}
+
+	// Tier 2: distributed hop-by-hop selection starting at the user side.
+	wire := make([]WireInstance, len(composed.Instances))
+	cands := make(map[string][]string, len(composed.Instances))
+	for i, in := range composed.Instances {
+		wire[i] = ToWire(in)
+		cands[in.ID] = providers[in.ID]
+	}
+	selReq := request{
+		Type:        msgSelect,
+		Instances:   wire,
+		Candidates:  cands,
+		Idx:         len(wire) - 1,
+		UserAddr:    p.addr,
+		DurationSec: duration.Seconds(),
+	}
+	resp := p.handleSelect(selReq)
+	if !resp.OK {
+		return nil, fmt.Errorf("netproto: selection failed: %s", resp.Err)
+	}
+	chain := resp.Chain
+	if len(chain) != len(composed.Instances) {
+		return nil, fmt.Errorf("netproto: selection returned %d hosts for %d components", len(chain), len(composed.Instances))
+	}
+
+	// Admission: reserve on every selected host, rolling back on failure.
+	p.mu.Lock()
+	p.nextSess++
+	sid := fmt.Sprintf("%s/%d", p.addr, p.nextSess)
+	p.mu.Unlock()
+	reserved := make([]string, 0, len(chain))
+	for i, host := range chain {
+		in := composed.Instances[i]
+		_, err := rpc(host, request{
+			Type:        msgReserve,
+			SessionID:   sid,
+			InstanceID:  in.ID,
+			CPU:         in.R[resource.CPU],
+			Memory:      in.R[resource.Memory],
+			DurationSec: duration.Seconds(),
+		}, p.cfg.RPCTimeout)
+		if err != nil {
+			for _, h := range reserved {
+				rpc(h, request{Type: msgRelease, SessionID: sid}, p.cfg.RPCTimeout)
+			}
+			return nil, fmt.Errorf("netproto: admission failed at %s: %v", host, err)
+		}
+		reserved = append(reserved, host)
+	}
+
+	plan := &Plan{SessionID: sid, Peers: chain, Cost: composed.Cost}
+	for _, in := range composed.Instances {
+		plan.Instances = append(plan.Instances, in.ID)
+	}
+
+	if p.cfg.MonitorInterval > 0 {
+		sess := &initiated{
+			sid:        sid,
+			instances:  composed.Instances,
+			hosts:      append([]string(nil), chain...),
+			candidates: cands,
+			deadline:   time.Now().Add(duration),
+			status:     StatusActive,
+		}
+		p.mu.Lock()
+		p.initiated[sid] = sess
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.monitor(sess)
+	}
+	return plan, nil
+}
+
+// SessionStatus reports the lifecycle state of a session this peer
+// initiated; only available when MonitorInterval is set.
+func (p *Peer) SessionStatus(sid string) (SessionStatus, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.initiated[sid]
+	if !ok {
+		return "", false
+	}
+	return s.status, true
+}
+
+// SessionHosts returns the current hosts of an initiated session (they
+// change when recovery re-homes a component).
+func (p *Peer) SessionHosts(sid string) ([]string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.initiated[sid]
+	if !ok {
+		return nil, false
+	}
+	return append([]string(nil), s.hosts...), true
+}
+
+// monitor implements runtime failure detection and recovery for one
+// initiated session: each interval, every host is probed; a dead host's
+// component is re-selected among the remaining candidates and re-reserved
+// for the session's remaining time. An unrecoverable loss fails the
+// session and releases the surviving reservations.
+func (p *Peer) monitor(sess *initiated) {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+		}
+		p.mu.Lock()
+		deadline := sess.deadline
+		hosts := append([]string(nil), sess.hosts...)
+		p.mu.Unlock()
+		if time.Now().After(deadline) {
+			p.mu.Lock()
+			if sess.status == StatusActive {
+				sess.status = StatusCompleted
+			}
+			p.mu.Unlock()
+			return
+		}
+		for k, host := range hosts {
+			if res := p.probe(host); res.alive {
+				continue
+			}
+			if !p.recoverComponent(sess, k, host) {
+				p.failInitiated(sess)
+				return
+			}
+		}
+	}
+}
+
+// recoverComponent re-homes component k of the session after its host
+// died. Selection runs at the initiating peer (a simplification of the
+// paper's downstream-neighbor selection, acceptable because the initiator
+// already holds the candidate lists).
+func (p *Peer) recoverComponent(sess *initiated, k int, dead string) bool {
+	inst := sess.instances[k]
+	var alive []string
+	for _, c := range sess.candidates[inst.ID] {
+		if c != dead {
+			alive = append(alive, c)
+		}
+	}
+	remaining := time.Until(sess.deadline)
+	if remaining <= 0 {
+		return true // the session is about to complete anyway
+	}
+	chosen, ok := p.selectNext(inst, alive, remaining)
+	if !ok {
+		return false
+	}
+	_, err := rpc(chosen, request{
+		Type:        msgReserve,
+		SessionID:   sess.sid,
+		InstanceID:  inst.ID,
+		CPU:         inst.R[resource.CPU],
+		Memory:      inst.R[resource.Memory],
+		DurationSec: remaining.Seconds(),
+	}, p.cfg.RPCTimeout)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
+	sess.hosts[k] = chosen
+	sess.recovered++
+	p.mu.Unlock()
+	return true
+}
+
+// failInitiated marks the session failed and releases surviving
+// reservations.
+func (p *Peer) failInitiated(sess *initiated) {
+	p.mu.Lock()
+	sess.status = StatusFailed
+	hosts := append([]string(nil), sess.hosts...)
+	p.mu.Unlock()
+	for _, h := range hosts {
+		rpc(h, request{Type: msgRelease, SessionID: sess.sid}, p.cfg.RPCTimeout)
+	}
+}

@@ -1,0 +1,200 @@
+// Package netproto is a working network prototype of the QSA model — the
+// prototype the paper leaves as future work ("we will implement a
+// prototype of our model and test it in the real Internet environment",
+// §6). Peers are real processes (or in-process instances) speaking
+// newline-delimited JSON over TCP:
+//
+//   - membership: a joiner contacts any bootstrap peer and announces
+//     itself to the membership it learns (full membership at prototype
+//     scale, standing in for the simulator's DHT);
+//   - discovery: the requesting peer fans a lookup out to the members and
+//     merges the (instance spec, provider) offers;
+//   - probing: candidates are probed over TCP — resource availability and
+//     uptime from the response, network quality from the measured RTT;
+//   - composition: QCS runs on the requesting peer over the discovered
+//     layers (package compose);
+//   - peer selection: hop-by-hop over the network — each selected peer
+//     receives the select request, probes ITS candidates with ITS own
+//     measurements, picks the Φ-best, and forwards the request, exactly
+//     the paper's distributed reverse-flow procedure;
+//   - admission: reservations are placed on each selected peer for the
+//     session duration and auto-expire.
+//
+// Substitutions relative to the simulator, documented per DESIGN.md §6:
+// the network term of Φ uses 100/(1+RTT_ms) as the available-bandwidth
+// proxy (a prototype cannot know pairwise bottleneck bandwidth without a
+// measurement service like Nettimer, the paper's [12]).
+package netproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/service"
+)
+
+// WireParam is the JSON form of one QoS parameter.
+type WireParam struct {
+	Name string  `json:"name"`
+	Sym  string  `json:"sym,omitempty"`
+	Lo   float64 `json:"lo,omitempty"`
+	Hi   float64 `json:"hi,omitempty"`
+}
+
+// WireInstance is the JSON form of a service instance specification.
+type WireInstance struct {
+	ID      string      `json:"id"`
+	Service string      `json:"service"`
+	Qin     []WireParam `json:"qin"`
+	Qout    []WireParam `json:"qout"`
+	CPU     float64     `json:"cpu"`
+	Memory  float64     `json:"memory"`
+	Kbps    float64     `json:"kbps"`
+}
+
+func toWireParams(v qos.Vector) []WireParam {
+	out := make([]WireParam, len(v))
+	for i, p := range v {
+		out[i] = WireParam{Name: p.Name, Sym: p.Sym, Lo: p.Lo, Hi: p.Hi}
+	}
+	return out
+}
+
+func fromWireParams(ps []WireParam) (qos.Vector, error) {
+	params := make([]qos.Param, len(ps))
+	for i, p := range ps {
+		if p.Sym != "" {
+			params[i] = qos.Sym(p.Name, p.Sym)
+		} else {
+			if p.Hi < p.Lo {
+				return nil, fmt.Errorf("netproto: inverted range %q", p.Name)
+			}
+			params[i] = qos.Range(p.Name, p.Lo, p.Hi)
+		}
+	}
+	return qos.NewVector(params...)
+}
+
+// ToWire converts an instance to its wire form.
+func ToWire(in *service.Instance) WireInstance {
+	return WireInstance{
+		ID:      in.ID,
+		Service: string(in.Service),
+		Qin:     toWireParams(in.Qin),
+		Qout:    toWireParams(in.Qout),
+		CPU:     in.R[resource.CPU],
+		Memory:  in.R[resource.Memory],
+		Kbps:    in.OutKbps,
+	}
+}
+
+// FromWire converts a wire instance back to the domain type.
+func FromWire(w WireInstance) (*service.Instance, error) {
+	qin, err := fromWireParams(w.Qin)
+	if err != nil {
+		return nil, err
+	}
+	qout, err := fromWireParams(w.Qout)
+	if err != nil {
+		return nil, err
+	}
+	in := &service.Instance{
+		ID:      w.ID,
+		Service: service.Name(w.Service),
+		Qin:     qin,
+		Qout:    qout,
+		R:       resource.Vec2(w.CPU, w.Memory),
+		OutKbps: w.Kbps,
+	}
+	return in, in.Validate()
+}
+
+// Message types.
+const (
+	msgJoin    = "join"    // announce a member; response carries membership
+	msgLeave   = "leave"   // graceful departure announcement
+	msgLookup  = "lookup"  // discover this peer's registrations of a service
+	msgProbe   = "probe"   // resource availability + uptime
+	msgSelect  = "select"  // continue hop-by-hop selection at this peer
+	msgReserve = "reserve" // reserve resources for a session
+	msgRelease = "release" // drop a session's reservation early
+)
+
+// request is the wire envelope for every RPC.
+type request struct {
+	Type string `json:"type"`
+
+	// join
+	Addr string `json:"addr,omitempty"`
+
+	// lookup
+	Service string `json:"service,omitempty"`
+
+	// select
+	Instances  []WireInstance      `json:"instances,omitempty"`
+	Candidates map[string][]string `json:"candidates,omitempty"` // instance ID -> provider addrs
+	Idx        int                 `json:"idx,omitempty"`
+	Chain      []string            `json:"chain,omitempty"`
+	UserAddr   string              `json:"user_addr,omitempty"`
+
+	// reserve / release
+	SessionID   string  `json:"session_id,omitempty"`
+	InstanceID  string  `json:"instance_id,omitempty"`
+	CPU         float64 `json:"cpu,omitempty"`
+	Memory      float64 `json:"memory,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+}
+
+// offer is one (instance, provider) discovery result.
+type offer struct {
+	Instance WireInstance `json:"instance"`
+	Provider string       `json:"provider"`
+}
+
+// response is the wire envelope for every reply.
+type response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	Members []string `json:"members,omitempty"`
+	Offers  []offer  `json:"offers,omitempty"`
+
+	// probe
+	Avail     []float64 `json:"avail,omitempty"`
+	UptimeSec float64   `json:"uptime_sec,omitempty"`
+
+	// select
+	Chain []string `json:"chain,omitempty"`
+}
+
+// rpc performs one request/response exchange with addr.
+func rpc(addr string, req request, timeout time.Duration) (*response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(req); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<20)
+	dec := json.NewDecoder(br)
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("netproto: %s failed at %s: %s", req.Type, addr, resp.Err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,159 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func chart() *Chart {
+	return &Chart{
+		Title:  "Figure 5: average success ratio vs request rate",
+		XLabel: "request rate (req/min)",
+		YLabel: "success ratio",
+		YFixed: true, YMin: 0, YMax: 1,
+		Lines: []Line{
+			{Label: "qsa", X: []float64{50, 100, 200}, Y: []float64{0.99, 0.97, 0.9}},
+			{Label: "random", X: []float64{50, 100, 200}, Y: []float64{0.85, 0.8, 0.7}},
+			{Label: "fixed", X: []float64{50, 100, 200}, Y: []float64{0.1, 0.05, 0.03}},
+		},
+	}
+}
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var b strings.Builder
+	if err := c.SVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := render(t, chart())
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsEverything(t *testing.T) {
+	out := render(t, chart())
+	for _, want := range []string{
+		"<svg", "</svg>", "Figure 5", "request rate", "success ratio",
+		"qsa", "random", "fixed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 3 {
+		t.Fatalf("polylines = %d, want one per line", got)
+	}
+	// Data markers: one circle per point plus none extra.
+	if got := strings.Count(out, "<circle"); got != 9 {
+		t.Fatalf("circles = %d, want 9", got)
+	}
+}
+
+func TestTitleEscaping(t *testing.T) {
+	c := chart()
+	c.Title = `QSA <ψ> & "friends"`
+	out := render(t, c)
+	if strings.Contains(out, "<ψ>") {
+		t.Fatal("unescaped angle brackets in title")
+	}
+	if !strings.Contains(out, "&lt;ψ&gt;") || !strings.Contains(out, "&amp;") {
+		t.Fatal("escaping missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (&Chart{}).SVG(&b); err == nil {
+		t.Fatal("empty chart must fail")
+	}
+	bad := &Chart{Lines: []Line{{Label: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.SVG(&b); err == nil {
+		t.Fatal("mismatched lengths must fail")
+	}
+	empty := &Chart{Lines: []Line{{Label: "x"}}}
+	if err := empty.SVG(&b); err == nil {
+		t.Fatal("empty line must fail")
+	}
+}
+
+func TestNaNPointsSkipped(t *testing.T) {
+	c := &Chart{
+		Lines: []Line{{Label: "l", X: []float64{1, 2, 3}, Y: []float64{1, math.NaN(), 3}}},
+	}
+	out := render(t, c)
+	if got := strings.Count(out, "<circle"); got != 2 {
+		t.Fatalf("circles = %d, NaN point must be skipped", got)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 1000, 7)
+	if len(ticks) < 4 || ticks[0] != 0 || ticks[len(ticks)-1] != 1000 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	frac := niceTicks(0, 1, 6)
+	if len(frac) < 4 {
+		t.Fatalf("fractional ticks = %v", frac)
+	}
+}
+
+// Property: rendering never panics and always yields well-formed XML for
+// arbitrary finite data.
+func TestPropertyAlwaysWellFormed(t *testing.T) {
+	check := func(xs, ys []int16) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		l := Line{Label: "p"}
+		for i := 0; i < n; i++ {
+			l.X = append(l.X, float64(xs[i]))
+			l.Y = append(l.Y, float64(ys[i]))
+		}
+		c := &Chart{Title: "t", Lines: []Line{l}}
+		var b strings.Builder
+		if err := c.SVG(&b); err != nil {
+			return false
+		}
+		dec := xml.NewDecoder(strings.NewReader(b.String()))
+		for {
+			if _, err := dec.Token(); err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantLineGetsRange(t *testing.T) {
+	c := &Chart{Lines: []Line{{Label: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	out := render(t, c)
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("flat line not rendered")
+	}
+}

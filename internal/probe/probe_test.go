@@ -1,0 +1,220 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/topology"
+)
+
+func newMgr(t *testing.T, cfg Config, peers int) (*Manager, *topology.Network) {
+	t.Helper()
+	net, err := topology.New(topology.Default(1, peers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(cfg, net), net
+}
+
+func ids(xs ...int) []topology.PeerID {
+	out := make([]topology.PeerID, len(xs))
+	for i, x := range xs {
+		out[i] = topology.PeerID(x)
+	}
+	return out
+}
+
+func TestRanks(t *testing.T) {
+	// Paper order: 1-hop direct < 1-hop indirect < 2-hop direct < …
+	if !(DirectRank(1) < IndirectRank(1) &&
+		IndirectRank(1) < DirectRank(2) &&
+		DirectRank(2) < IndirectRank(2) &&
+		IndirectRank(2) < DirectRank(3)) {
+		t.Fatal("benefit ranking does not match the paper's probing order")
+	}
+}
+
+func TestResolveAndFresh(t *testing.T) {
+	m, net := newMgr(t, Config{}, 10)
+	m.Resolve(0, ids(1, 2, 3), DirectRank(1), 5)
+	info, ok := m.Fresh(0, 2, 5)
+	if !ok {
+		t.Fatal("resolved neighbor must have fresh info")
+	}
+	if !info.Alive || info.Measured != 5 {
+		t.Fatalf("info = %+v", info)
+	}
+	p := net.MustPeer(2)
+	if info.Uptime != p.Uptime(5) {
+		t.Fatalf("uptime = %v, want %v", info.Uptime, p.Uptime(5))
+	}
+	if info.Available[0] != p.Capacity[0] {
+		t.Fatalf("availability = %v, want full capacity %v", info.Available, p.Capacity)
+	}
+	if info.AvailKbps != net.Bandwidth(2, 0) {
+		t.Fatalf("β = %v, want %v", info.AvailKbps, net.Bandwidth(2, 0))
+	}
+	if _, ok := m.Fresh(0, 7, 5); ok {
+		t.Fatal("unresolved peer must be a miss")
+	}
+	if _, ok := m.Fresh(9, 1, 5); ok {
+		t.Fatal("owner without a table must be a miss")
+	}
+}
+
+func TestSelfNeverNeighbor(t *testing.T) {
+	m, _ := newMgr(t, Config{}, 5)
+	m.Resolve(0, ids(0, 1), DirectRank(1), 0)
+	if _, ok := m.Fresh(0, 0, 0); ok {
+		t.Fatal("a peer must not probe itself")
+	}
+	if m.NeighborCount(0) != 1 {
+		t.Fatalf("NeighborCount = %d", m.NeighborCount(0))
+	}
+}
+
+func TestProbeCaching(t *testing.T) {
+	m, net := newMgr(t, Config{Period: 2}, 5)
+	m.Resolve(0, ids(1), DirectRank(1), 0)
+	// Load peer 1 so a re-measurement would observe different availability.
+	p := net.MustPeer(1)
+	p.Ledger.Reserve(resource.Vec2(50, 50))
+
+	m.Resolve(0, ids(1), DirectRank(1), 1) // within period: cached
+	info, _ := m.Fresh(0, 1, 1)
+	if info.Measured != 0 {
+		t.Fatal("measurement within the period must be reused")
+	}
+	if info.Available[0] != p.Capacity[0] {
+		t.Fatal("cached info must reflect the old measurement")
+	}
+	s := m.Stats()
+	if s.CacheHits != 1 || s.Probes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	m.Resolve(0, ids(1), DirectRank(1), 2.5) // past period: re-probe
+	info, _ = m.Fresh(0, 1, 2.5)
+	if info.Measured != 2.5 {
+		t.Fatal("stale measurement must be retaken")
+	}
+	if info.Available[0] != p.Capacity[0]-50 {
+		t.Fatalf("fresh probe must see the load: %v", info.Available)
+	}
+}
+
+func TestStaleInfoHidesDeparture(t *testing.T) {
+	// Within the probe period, selection may still see a departed peer as
+	// alive — the churn window the paper's experiments exercise.
+	m, net := newMgr(t, Config{Period: 5}, 5)
+	m.Resolve(0, ids(1), DirectRank(1), 0)
+	net.Depart(1, 1)
+	m.Resolve(0, ids(1), DirectRank(1), 2) // cache still valid
+	info, ok := m.Fresh(0, 1, 2)
+	if !ok || !info.Alive {
+		t.Fatal("within the period the stale 'alive' view must persist")
+	}
+	m.Resolve(0, ids(1), DirectRank(1), 6) // re-probe
+	info, _ = m.Fresh(0, 1, 6)
+	if info.Alive {
+		t.Fatal("re-probe must discover the departure")
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	m, _ := newMgr(t, Config{TTL: 3}, 5)
+	m.Resolve(0, ids(1), DirectRank(1), 0)
+	if _, ok := m.Fresh(0, 1, 2.9); !ok {
+		t.Fatal("entry must be fresh before TTL")
+	}
+	if _, ok := m.Fresh(0, 1, 3); ok {
+		t.Fatal("entry must expire at TTL without refresh")
+	}
+	m.Resolve(0, ids(1), DirectRank(1), 2) // refresh extends to 5
+	if _, ok := m.Fresh(0, 1, 4.5); !ok {
+		t.Fatal("refresh must extend the soft state")
+	}
+}
+
+func TestCapacityAndBenefitEviction(t *testing.T) {
+	m, _ := newMgr(t, Config{M: 3}, 20)
+	m.Resolve(0, ids(1, 2, 3), IndirectRank(1), 0)
+	if m.NeighborCount(0) != 3 {
+		t.Fatalf("NeighborCount = %d", m.NeighborCount(0))
+	}
+	// A lower-benefit candidate must be rejected when full.
+	m.Resolve(0, ids(4), IndirectRank(2), 0)
+	if _, ok := m.Fresh(0, 4, 0); ok {
+		t.Fatal("lower-benefit candidate must not displace higher-benefit neighbors")
+	}
+	if m.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d", m.Stats().Rejected)
+	}
+	// A higher-benefit candidate evicts one of the indirect entries.
+	m.Resolve(0, ids(5), DirectRank(1), 0)
+	if _, ok := m.Fresh(0, 5, 0); !ok {
+		t.Fatal("higher-benefit candidate must be admitted by eviction")
+	}
+	if m.NeighborCount(0) != 3 {
+		t.Fatalf("table must stay at capacity, got %d", m.NeighborCount(0))
+	}
+	if m.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d", m.Stats().Evictions)
+	}
+}
+
+func TestExpiredEntriesEvictedFirst(t *testing.T) {
+	m, _ := newMgr(t, Config{M: 2, TTL: 3}, 10)
+	m.Resolve(0, ids(1), DirectRank(1), 0) // expires at 3
+	m.Resolve(0, ids(2), DirectRank(1), 4) // 1 now expired
+	m.Resolve(0, ids(3), IndirectRank(2), 4)
+	// Even a low-benefit candidate takes an expired slot.
+	if _, ok := m.Fresh(0, 3, 4); !ok {
+		t.Fatal("expired entry should have been evicted for the newcomer")
+	}
+	if _, ok := m.Fresh(0, 1, 4); ok {
+		t.Fatal("expired entry must be gone")
+	}
+}
+
+func TestRankPromotion(t *testing.T) {
+	m, _ := newMgr(t, Config{M: 2}, 10)
+	m.Resolve(0, ids(1), IndirectRank(2), 0)
+	m.Resolve(0, ids(1), DirectRank(1), 0) // same peer, better class
+	m.Resolve(0, ids(2), DirectRank(1), 0)
+	// Table full with two rank-0 entries; an indirect newcomer must fail,
+	// proving peer 1 was promoted.
+	m.Resolve(0, ids(3), IndirectRank(1), 0)
+	if _, ok := m.Fresh(0, 3, 0); ok {
+		t.Fatal("newcomer should have been rejected; promotion failed")
+	}
+}
+
+func TestDropPeer(t *testing.T) {
+	m, _ := newMgr(t, Config{}, 5)
+	m.Resolve(0, ids(1, 2), DirectRank(1), 0)
+	m.DropPeer(0)
+	if m.NeighborCount(0) != 0 {
+		t.Fatal("DropPeer must discard the table")
+	}
+}
+
+func TestProbeOfUnknownPeer(t *testing.T) {
+	m, _ := newMgr(t, Config{}, 3)
+	m.Resolve(0, ids(99), DirectRank(1), 0)
+	info, ok := m.Fresh(0, 99, 0)
+	if !ok {
+		t.Fatal("entry should exist even for unknown target")
+	}
+	if info.Alive {
+		t.Fatal("unknown peer must probe as not alive")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m, _ := newMgr(t, Config{}, 3)
+	cfg := m.Config()
+	if cfg.M != 100 || cfg.TTL != 10 || cfg.Period != 1 {
+		t.Fatalf("defaults = %+v, want paper values M=100, TTL=10, Period=1", cfg)
+	}
+}

@@ -1,0 +1,135 @@
+package registry
+
+import (
+	"repro/internal/can"
+	"repro/internal/chord"
+	"repro/internal/xrand"
+)
+
+// DHT abstracts the P2P lookup service the registry is built on. The
+// paper invokes "the P2P lookup protocol, such as Chord or CAN" (§3.2);
+// both are implemented in this repository (internal/chord,
+// internal/can) and satisfy this interface through thin adapters.
+type DHT interface {
+	// Join adds a node for the given label using rng for placement and
+	// returns its handle.
+	Join(label string, rng *xrand.Source) (DHTNode, error)
+	// Remove removes a node — gracefully (handing its data over) or
+	// abruptly (data lost up to replication).
+	Remove(n DHTNode, graceful bool) error
+	// Update routes from start to the owner of key and atomically applies
+	// fn to the value stored under itemID (nil when absent); the returned
+	// value replaces it (nil deletes). It returns the routing hop count.
+	Update(start DHTNode, key uint64, itemID string, fn func(prev any) any) (int, error)
+	// Get routes from start to the owner of key and returns the stored
+	// items and the routing hop count.
+	Get(start DHTNode, key uint64) (map[string]any, int, error)
+	// Stats returns cumulative routing statistics.
+	Stats() LookupStats
+}
+
+// DHTNode is one participant handle issued by a DHT.
+type DHTNode interface {
+	// Alive reports whether the node is still part of the overlay.
+	Alive() bool
+}
+
+// LookupStats is the DHT-independent routing statistics view.
+type LookupStats struct {
+	Lookups   uint64
+	TotalHops uint64
+}
+
+// MeanHops returns the average routing hops per lookup.
+func (s LookupStats) MeanHops() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Lookups)
+}
+
+// ChordDHT adapts a chord.Ring to the DHT interface.
+type ChordDHT struct {
+	Ring *chord.Ring
+}
+
+// NewChordDHT wraps a fresh Chord ring with the given configuration.
+func NewChordDHT(cfg chord.Config) *ChordDHT {
+	return &ChordDHT{Ring: chord.NewRing(cfg)}
+}
+
+// Join implements DHT.
+func (c *ChordDHT) Join(label string, rng *xrand.Source) (DHTNode, error) {
+	return c.Ring.JoinRandom(label, rng)
+}
+
+// Remove implements DHT.
+func (c *ChordDHT) Remove(n DHTNode, graceful bool) error {
+	node := n.(*chord.Node)
+	if graceful {
+		return c.Ring.Leave(node)
+	}
+	return c.Ring.Fail(node)
+}
+
+// Update implements DHT.
+func (c *ChordDHT) Update(start DHTNode, key uint64, itemID string, fn func(any) any) (int, error) {
+	return c.Ring.Update(start.(*chord.Node), key, itemID, fn)
+}
+
+// Get implements DHT.
+func (c *ChordDHT) Get(start DHTNode, key uint64) (map[string]any, int, error) {
+	return c.Ring.Get(start.(*chord.Node), key)
+}
+
+// Stats implements DHT.
+func (c *ChordDHT) Stats() LookupStats {
+	s := c.Ring.Stats()
+	return LookupStats{Lookups: s.Lookups, TotalHops: s.TotalHops}
+}
+
+// Stabilize implements the optional stabilization hook: all nodes refresh
+// their routing state from ring ground truth, the converged end state of
+// Chord's stabilize/fix_fingers rounds.
+func (c *ChordDHT) Stabilize() { c.Ring.RefreshAll() }
+
+// CANDHT adapts a can.Space to the DHT interface — the paper's alternative
+// lookup substrate.
+type CANDHT struct {
+	Space *can.Space
+}
+
+// NewCANDHT wraps a fresh CAN space with the given configuration.
+func NewCANDHT(cfg can.Config) *CANDHT {
+	return &CANDHT{Space: can.NewSpace(cfg)}
+}
+
+// Join implements DHT.
+func (c *CANDHT) Join(label string, rng *xrand.Source) (DHTNode, error) {
+	return c.Space.Join(label, rng)
+}
+
+// Remove implements DHT.
+func (c *CANDHT) Remove(n DHTNode, graceful bool) error {
+	node := n.(*can.Node)
+	if graceful {
+		return c.Space.Leave(node)
+	}
+	return c.Space.Fail(node)
+}
+
+// Update implements DHT.
+func (c *CANDHT) Update(start DHTNode, key uint64, itemID string, fn func(any) any) (int, error) {
+	return c.Space.Update(start.(*can.Node), key, itemID, fn)
+}
+
+// Get implements DHT.
+func (c *CANDHT) Get(start DHTNode, key uint64) (map[string]any, int, error) {
+	return c.Space.Get(start.(*can.Node), key)
+}
+
+// Stats implements DHT.
+func (c *CANDHT) Stats() LookupStats {
+	s := c.Space.Stats()
+	return LookupStats{Lookups: s.Lookups, TotalHops: s.TotalHops}
+}

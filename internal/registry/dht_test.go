@@ -1,0 +1,70 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/can"
+	"repro/internal/chord"
+	"repro/internal/topology"
+)
+
+// substrates returns both lookup services the paper names, so the registry
+// behaviour tests run against each.
+func substrates() map[string]func() DHT {
+	return map[string]func() DHT{
+		"chord": func() DHT { return NewChordDHT(chord.Config{}) },
+		"can":   func() DHT { return NewCANDHT(can.Config{}) },
+	}
+}
+
+func TestRegistryOverBothSubstrates(t *testing.T) {
+	for name, mk := range substrates() {
+		t.Run(name, func(t *testing.T) {
+			r := New(Config{DHT: mk()}, 1)
+			for p := 0; p < 30; p++ {
+				if err := r.AddPeer(topology.PeerID(p)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			inst := testInst("svc", 0)
+			if err := r.Register(3, inst, 3, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Register(9, inst, 9, 0); err != nil {
+				t.Fatal(err)
+			}
+			entries, hops, err := r.Lookup(17, "svc", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hops < 0 {
+				t.Fatalf("hops = %d", hops)
+			}
+			if len(entries) != 1 || entries[0].ProviderCount(1) != 2 {
+				t.Fatalf("entries = %v", entries)
+			}
+			// Abrupt removal of a non-owner peer must not lose the record.
+			if err := r.RemovePeer(20, false); err != nil {
+				t.Fatal(err)
+			}
+			entries, _, err = r.Lookup(5, "svc", 1)
+			if err != nil || len(entries) != 1 {
+				t.Fatalf("after failure: %v, %v", entries, err)
+			}
+			if r.Stats().Lookups == 0 {
+				t.Fatal("no lookups recorded")
+			}
+		})
+	}
+}
+
+func TestLookupStatsMeanHops(t *testing.T) {
+	var s LookupStats
+	if s.MeanHops() != 0 {
+		t.Fatal("MeanHops on empty stats must be 0")
+	}
+	s = LookupStats{Lookups: 5, TotalHops: 20}
+	if s.MeanHops() != 4 {
+		t.Fatalf("MeanHops = %v", s.MeanHops())
+	}
+}

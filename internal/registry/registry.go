@@ -1,0 +1,232 @@
+// Package registry implements the service discovery layer of QSA: a
+// soft-state registry of (service instance, provider peer) bindings built
+// on the Chord DHT.
+//
+// This is the paper's step two of on-demand service composition (§3.2):
+// "the P2P lookup protocol, such as Chord or CAN, is invoked to retrieve
+// the locations (i.e., IP addresses) and QoS specifications (Qin, Qout, R)
+// of all candidate service instances, according to the abstract service
+// path."
+//
+// Providers register themselves under the hash of the abstract service
+// name; registrations are soft state with a TTL and must be refreshed
+// periodically, so a departed peer's bindings age out on their own —
+// mirroring the paper's soft-state neighbor lists (§3.3). Between the
+// departure and the TTL expiry a lookup may still return the dead
+// provider; peer selection has to cope (and the churn experiments measure
+// exactly that window).
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chord"
+	"repro/internal/service"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// InstanceEntry is the registry record for one service instance: its
+// QoS/resource specification plus the soft-state provider set.
+type InstanceEntry struct {
+	Inst      *service.Instance
+	providers map[topology.PeerID]float64 // peer -> expiry time
+}
+
+// Providers appends to dst the peers whose registration is live at time
+// now, in ascending PeerID order (deterministic), and returns dst.
+func (e *InstanceEntry) Providers(now float64, dst []topology.PeerID) []topology.PeerID {
+	for p, exp := range e.providers {
+		if exp > now {
+			dst = append(dst, p)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// ProviderCount returns the number of live registrations at time now.
+func (e *InstanceEntry) ProviderCount(now float64) int {
+	c := 0
+	for _, exp := range e.providers {
+		if exp > now {
+			c++
+		}
+	}
+	return c
+}
+
+// Config parameterizes the registry.
+type Config struct {
+	// TTL is the soft-state lifetime of one registration in minutes;
+	// providers must refresh within it. Default 10.
+	TTL float64
+	// Chord configures the default underlying DHT ring; ignored when DHT
+	// is set explicitly.
+	Chord chord.Config
+	// DHT overrides the lookup substrate (default: a Chord ring built
+	// from the Chord config; internal/can provides the alternative).
+	DHT DHT
+}
+
+func (c *Config) fillDefaults() {
+	if c.TTL == 0 {
+		c.TTL = 10
+	}
+}
+
+// Registry binds peers to DHT nodes and stores instance/provider records.
+type Registry struct {
+	cfg   Config
+	dht   DHT
+	nodes map[topology.PeerID]DHTNode
+	rng   *xrand.Source
+}
+
+// New returns an empty registry.
+func New(cfg Config, seed uint64) *Registry {
+	cfg.fillDefaults()
+	dht := cfg.DHT
+	if dht == nil {
+		dht = NewChordDHT(cfg.Chord)
+	}
+	return &Registry{
+		cfg:   cfg,
+		dht:   dht,
+		nodes: make(map[topology.PeerID]DHTNode),
+		rng:   xrand.New(seed).SplitLabeled("registry"),
+	}
+}
+
+// Stats exposes the lookup substrate's routing statistics.
+func (r *Registry) Stats() LookupStats { return r.dht.Stats() }
+
+// Stabilize asks the lookup substrate to bring all routing state to
+// convergence. Call it after bulk joins (initial grid setup): a real
+// deployment would have run its stabilization protocol continuously, so a
+// freshly *observed* grid starts converged. Substrates without the hook
+// (CAN keeps exact neighbor state by construction) ignore it.
+func (r *Registry) Stabilize() {
+	if s, ok := r.dht.(interface{ Stabilize() }); ok {
+		s.Stabilize()
+	}
+}
+
+// TTL returns the soft-state registration lifetime.
+func (r *Registry) TTL() float64 { return r.cfg.TTL }
+
+// AddPeer joins the peer's DHT node. Idempotent additions are an error:
+// the caller owns peer lifecycle.
+func (r *Registry) AddPeer(p topology.PeerID) error {
+	if _, ok := r.nodes[p]; ok {
+		return fmt.Errorf("registry: peer %d already joined", p)
+	}
+	n, err := r.dht.Join(fmt.Sprintf("peer-%d", p), r.rng)
+	if err != nil {
+		return err
+	}
+	r.nodes[p] = n
+	return nil
+}
+
+// RemovePeer removes the peer's DHT node — gracefully (keys handed over)
+// or abruptly (fail, as under churn).
+func (r *Registry) RemovePeer(p topology.PeerID, graceful bool) error {
+	n, ok := r.nodes[p]
+	if !ok {
+		return fmt.Errorf("registry: unknown peer %d", p)
+	}
+	delete(r.nodes, p)
+	return r.dht.Remove(n, graceful)
+}
+
+// node returns the DHT node of a joined peer.
+func (r *Registry) node(p topology.PeerID) (DHTNode, error) {
+	n, ok := r.nodes[p]
+	if !ok || !n.Alive() {
+		return nil, fmt.Errorf("registry: peer %d not on the DHT", p)
+	}
+	return n, nil
+}
+
+func serviceKey(name service.Name) chord.ID { return chord.HashString(string(name)) }
+
+// Register records (or refreshes) provider as hosting inst, from the
+// perspective of peer from (which pays the routing hops). The registration
+// expires TTL minutes after now unless refreshed. Expired co-registrations
+// of the same instance are pruned opportunistically.
+func (r *Registry) Register(from topology.PeerID, inst *service.Instance, provider topology.PeerID, now float64) error {
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	n, err := r.node(from)
+	if err != nil {
+		return err
+	}
+	_, err = r.dht.Update(n, serviceKey(inst.Service), inst.ID, func(prev any) any {
+		e, ok := prev.(*InstanceEntry)
+		if !ok || e == nil {
+			e = &InstanceEntry{Inst: inst, providers: make(map[topology.PeerID]float64)}
+		}
+		for p, exp := range e.providers {
+			if exp <= now {
+				delete(e.providers, p)
+			}
+		}
+		e.providers[provider] = now + r.cfg.TTL
+		return e
+	})
+	return err
+}
+
+// Unregister drops provider's registration for inst immediately (graceful
+// provider shutdown; abrupt departures just let the TTL lapse).
+func (r *Registry) Unregister(from topology.PeerID, inst *service.Instance, provider topology.PeerID) error {
+	n, err := r.node(from)
+	if err != nil {
+		return err
+	}
+	_, err = r.dht.Update(n, serviceKey(inst.Service), inst.ID, func(prev any) any {
+		e, ok := prev.(*InstanceEntry)
+		if !ok || e == nil {
+			return nil
+		}
+		delete(e.providers, provider)
+		if len(e.providers) == 0 {
+			return nil
+		}
+		return e
+	})
+	return err
+}
+
+// Lookup retrieves all candidate instances of the abstract service, with
+// their live provider sets, by routing a DHT query from peer from. Entries
+// whose provider sets are entirely expired are omitted. The result is
+// sorted by instance ID (deterministic). hops is the DHT routing cost.
+func (r *Registry) Lookup(from topology.PeerID, name service.Name, now float64) (entries []*InstanceEntry, hops int, err error) {
+	n, err := r.node(from)
+	if err != nil {
+		return nil, 0, err
+	}
+	items, hops, err := r.dht.Get(n, serviceKey(name))
+	if err != nil {
+		return nil, hops, err
+	}
+	for _, v := range items {
+		e, ok := v.(*InstanceEntry)
+		if !ok || e == nil {
+			continue
+		}
+		if e.ProviderCount(now) == 0 {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Inst.ID < entries[j].Inst.ID })
+	return entries, hops, nil
+}
+
+// PeerCount returns the number of peers currently joined to the DHT.
+func (r *Registry) PeerCount() int { return len(r.nodes) }

@@ -1,0 +1,238 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/service"
+	"repro/internal/topology"
+)
+
+func testInst(name service.Name, i int) *service.Instance {
+	return &service.Instance{
+		ID:      fmt.Sprintf("%s#%d", name, i),
+		Service: name,
+		Qin:     qos.MustVector(qos.Sym("format", "MPEG")),
+		Qout:    qos.MustVector(qos.Sym("format", "MPEG")),
+		R:       resource.Vec2(10, 10),
+		OutKbps: 100,
+	}
+}
+
+func newReg(t *testing.T, peers int) *Registry {
+	t.Helper()
+	r := New(Config{}, 1)
+	for p := 0; p < peers; p++ {
+		if err := r.AddPeer(topology.PeerID(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestRegisterLookup(t *testing.T) {
+	r := newReg(t, 20)
+	inst := testInst("video-server", 0)
+	if err := r.Register(3, inst, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(7, inst, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, hops, err := r.Lookup(11, "video-server", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops < 0 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1 instance", len(entries))
+	}
+	provs := entries[0].Providers(1, nil)
+	if len(provs) != 2 || provs[0] != 3 || provs[1] != 7 {
+		t.Fatalf("providers = %v", provs)
+	}
+}
+
+func TestMultipleInstancesSorted(t *testing.T) {
+	r := newReg(t, 20)
+	for i := 0; i < 5; i++ {
+		inst := testInst("translator", i)
+		if err := r.Register(topology.PeerID(i), inst, topology.PeerID(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _, err := r.Lookup(9, "translator", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Inst.ID >= entries[i].Inst.ID {
+			t.Fatal("entries not sorted by instance ID")
+		}
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	r := New(Config{TTL: 5}, 2)
+	for p := 0; p < 10; p++ {
+		r.AddPeer(topology.PeerID(p))
+	}
+	inst := testInst("enhancer", 0)
+	r.Register(0, inst, 0, 0) // expires at 5
+	r.Register(1, inst, 1, 3) // expires at 8
+	entries, _, _ := r.Lookup(2, "enhancer", 6)
+	if len(entries) != 1 {
+		t.Fatalf("entries at t=6: %d", len(entries))
+	}
+	provs := entries[0].Providers(6, nil)
+	if len(provs) != 1 || provs[0] != 1 {
+		t.Fatalf("providers at t=6 = %v, only peer 1 should survive", provs)
+	}
+	entries, _, _ = r.Lookup(2, "enhancer", 9)
+	if len(entries) != 0 {
+		t.Fatal("fully expired instance must be omitted")
+	}
+}
+
+func TestRefreshExtendsTTL(t *testing.T) {
+	r := New(Config{TTL: 5}, 3)
+	for p := 0; p < 10; p++ {
+		r.AddPeer(topology.PeerID(p))
+	}
+	inst := testInst("player", 0)
+	r.Register(0, inst, 0, 0)
+	r.Register(0, inst, 0, 4) // refresh: now expires at 9
+	entries, _, _ := r.Lookup(1, "player", 8)
+	if len(entries) != 1 || entries[0].ProviderCount(8) != 1 {
+		t.Fatal("refreshed registration must survive past the original TTL")
+	}
+}
+
+func TestExpiredCoRegistrationsPruned(t *testing.T) {
+	r := New(Config{TTL: 5}, 4)
+	for p := 0; p < 10; p++ {
+		r.AddPeer(topology.PeerID(p))
+	}
+	inst := testInst("svc", 0)
+	r.Register(0, inst, 0, 0) // expires at 5
+	r.Register(1, inst, 1, 10)
+	entries, _, _ := r.Lookup(2, "svc", 11)
+	if len(entries) != 1 {
+		t.Fatal("live registration lost")
+	}
+	// The prune in Register should have removed peer 0's expired record.
+	if n := len(entries[0].providers); n != 1 {
+		t.Fatalf("expired co-registration not pruned: %d records", n)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := newReg(t, 10)
+	inst := testInst("svc", 0)
+	r.Register(0, inst, 0, 0)
+	r.Register(1, inst, 1, 0)
+	if err := r.Unregister(2, inst, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, _ := r.Lookup(3, "svc", 1)
+	if len(entries) != 1 || entries[0].ProviderCount(1) != 1 {
+		t.Fatal("unregister must drop exactly the one provider")
+	}
+	if err := r.Unregister(2, inst, 1); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, _ = r.Lookup(3, "svc", 1)
+	if len(entries) != 0 {
+		t.Fatal("instance with no providers must vanish")
+	}
+	// Unregistering an absent record is a no-op, not an error.
+	if err := r.Unregister(2, inst, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupUnknownService(t *testing.T) {
+	r := newReg(t, 5)
+	entries, _, err := r.Lookup(0, "nope", 0)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("unknown service: %v, %v", entries, err)
+	}
+}
+
+func TestPeerLifecycle(t *testing.T) {
+	r := newReg(t, 5)
+	if r.PeerCount() != 5 {
+		t.Fatalf("PeerCount = %d", r.PeerCount())
+	}
+	if err := r.AddPeer(3); err == nil {
+		t.Fatal("duplicate AddPeer must fail")
+	}
+	if err := r.RemovePeer(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemovePeer(3, true); err == nil {
+		t.Fatal("double remove must fail")
+	}
+	if r.PeerCount() != 4 {
+		t.Fatalf("PeerCount = %d after removal", r.PeerCount())
+	}
+	if _, _, err := r.Lookup(3, "svc", 0); err == nil {
+		t.Fatal("lookup from removed peer must fail")
+	}
+	if err := r.Register(3, testInst("svc", 0), 3, 0); err == nil {
+		t.Fatal("register from removed peer must fail")
+	}
+}
+
+func TestDataSurvivesGracefulChurn(t *testing.T) {
+	r := newReg(t, 30)
+	inst := testInst("svc", 0)
+	r.Register(0, inst, 0, 0)
+	// Gracefully remove a third of peers (but not peer 0 and 1).
+	for p := 10; p < 20; p++ {
+		if err := r.RemovePeer(topology.PeerID(p), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _, err := r.Lookup(1, "svc", 1)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("registration lost after graceful churn: %v, %v", entries, err)
+	}
+}
+
+func TestDataUsuallySurvivesAbruptChurn(t *testing.T) {
+	// With replication 3 (default), a single abrupt failure cannot lose
+	// the record.
+	r := newReg(t, 30)
+	inst := testInst("svc", 0)
+	r.Register(0, inst, 0, 0)
+	if err := r.RemovePeer(15, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := r.Lookup(1, "svc", 1)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("registration lost after one abrupt failure: %v, %v", entries, err)
+	}
+}
+
+func TestRegisterValidates(t *testing.T) {
+	r := newReg(t, 5)
+	bad := &service.Instance{ID: "", Service: "svc", R: resource.Vec2(1, 1)}
+	if err := r.Register(0, bad, 0, 0); err == nil {
+		t.Fatal("invalid instance must be rejected")
+	}
+}
+
+func TestTTLDefault(t *testing.T) {
+	r := New(Config{}, 9)
+	if r.TTL() != 10 {
+		t.Fatalf("default TTL = %v, want 10", r.TTL())
+	}
+}

@@ -1,0 +1,110 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPairNormalization(t *testing.T) {
+	if Pair(3, 7) != Pair(7, 3) {
+		t.Fatal("Pair must be order-insensitive")
+	}
+	k := Pair(9, 2)
+	if k.Lo != 2 || k.Hi != 9 {
+		t.Fatalf("Pair(9,2) = %+v", k)
+	}
+}
+
+func constCap(kbps float64) func(a, b int) float64 {
+	return func(a, b int) float64 { return kbps }
+}
+
+func TestBandwidthReserveRelease(t *testing.T) {
+	l := NewBandwidthLedger(constCap(1000))
+	if !l.Reserve(1, 2, 600) {
+		t.Fatal("reservation within capacity rejected")
+	}
+	if l.Reserve(2, 1, 600) {
+		t.Fatal("reservation past capacity admitted (symmetric key)")
+	}
+	if !l.Reserve(2, 1, 400) {
+		t.Fatal("exact-fit reservation rejected")
+	}
+	if av := l.Available(1, 2); av != 0 {
+		t.Fatalf("Available = %v", av)
+	}
+	l.Release(1, 2, 600)
+	if av := l.Available(2, 1); av != 600 {
+		t.Fatalf("Available after release = %v", av)
+	}
+}
+
+func TestBandwidthPairsIndependent(t *testing.T) {
+	l := NewBandwidthLedger(constCap(100))
+	if !l.Reserve(1, 2, 100) || !l.Reserve(1, 3, 100) {
+		t.Fatal("distinct pairs must not share capacity")
+	}
+	if l.ActivePairs() != 2 {
+		t.Fatalf("ActivePairs = %d", l.ActivePairs())
+	}
+}
+
+func TestBandwidthSparseCleanup(t *testing.T) {
+	l := NewBandwidthLedger(constCap(100))
+	l.Reserve(1, 2, 40)
+	l.Release(1, 2, 40)
+	if l.ActivePairs() != 0 {
+		t.Fatal("fully released pair must be evicted from the map")
+	}
+}
+
+func TestBandwidthNegativeRejected(t *testing.T) {
+	l := NewBandwidthLedger(constCap(100))
+	if l.Reserve(1, 2, -5) {
+		t.Fatal("negative reservation admitted")
+	}
+}
+
+func TestBandwidthOverReleasePanics(t *testing.T) {
+	l := NewBandwidthLedger(constCap(100))
+	l.Reserve(1, 2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release should panic")
+		}
+	}()
+	l.Release(1, 2, 20)
+}
+
+func TestNilCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil capacity function should panic")
+		}
+	}()
+	NewBandwidthLedger(nil)
+}
+
+// Property: reserve/release conservation per pair.
+func TestPropertyBandwidthConservation(t *testing.T) {
+	check := func(amounts []uint8) bool {
+		l := NewBandwidthLedger(constCap(10000))
+		var admitted []float64
+		for _, a := range amounts {
+			amt := float64(a)
+			if l.Reserve(5, 6, amt) {
+				admitted = append(admitted, amt)
+			}
+			if l.Available(5, 6) < 0 {
+				return false
+			}
+		}
+		for _, amt := range admitted {
+			l.Release(5, 6, amt)
+		}
+		return l.Available(5, 6) == 10000 && l.ActivePairs() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/qos"
+	"repro/internal/resource"
+)
+
+func inst(id string, outFmt string, outLo, outHi float64, inFmt string, inCap float64) *Instance {
+	return &Instance{
+		ID:      id,
+		Service: "svc",
+		Qin:     qos.MustVector(qos.Sym("format", inFmt), qos.Range("rate", 0, inCap)),
+		Qout:    qos.MustVector(qos.Sym("format", outFmt), qos.Range("rate", outLo, outHi)),
+		R:       resource.Vec2(10, 10),
+		OutKbps: 100,
+	}
+}
+
+func TestCanFeed(t *testing.T) {
+	a := inst("a", "MPEG", 10, 20, "RAW", 30)
+	b := inst("b", "JPEG", 5, 10, "MPEG", 25)
+	if !a.CanFeed(b) {
+		t.Fatal("a(out MPEG, rate<=20) must feed b(in MPEG, cap 25)")
+	}
+	if b.CanFeed(a) {
+		t.Fatal("b(out JPEG) must not feed a(in RAW)")
+	}
+	c := inst("c", "MPEG", 10, 28, "MPEG", 25)
+	if c.CanFeed(b) {
+		t.Fatal("rate 28 exceeds b's cap 25")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	good := inst("x", "MPEG", 1, 2, "MPEG", 3)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Instance{
+		{Service: "s", R: resource.Vec2(1, 1)},                       // no ID
+		{ID: "i", R: resource.Vec2(1, 1)},                            // no service
+		{ID: "i", Service: "s"},                                      // no R
+		{ID: "i", Service: "s", R: resource.Vec2(-1, 1)},             // negative R
+		{ID: "i", Service: "s", R: resource.Vec2(1, 1), OutKbps: -5}, // negative bw
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad instance %d passed validation", i)
+		}
+	}
+}
+
+func TestApplicationValidate(t *testing.T) {
+	good := &Application{ID: "a", Path: []Name{"s1", "s2", "s3"}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Hops() != 3 {
+		t.Fatalf("Hops = %d", good.Hops())
+	}
+	bad := []*Application{
+		{Path: []Name{"s"}},                    // no ID
+		{ID: "a"},                              // empty path
+		{ID: "a", Path: []Name{"s", ""}},       // empty name
+		{ID: "a", Path: []Name{"s", "t", "s"}}, // repeated service
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad application %d passed validation", i)
+		}
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	app := &Application{ID: "a", Path: []Name{"s1", "s2"}}
+	good := &Request{App: app, Level: qos.Average, Duration: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Request{
+		{Level: qos.Low, Duration: 1},                             // no app
+		{App: app, Level: qos.Level(9), Duration: 1},              // bad level
+		{App: app, Level: qos.Low, Duration: 0},                   // zero duration
+		{App: &Application{ID: "x"}, Level: qos.Low, Duration: 1}, // invalid app
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad request %d passed validation", i)
+		}
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	i := inst("app0/svc1#2", "MPEG", 1, 2, "MPEG", 3)
+	if got := i.String(); got != "app0/svc1#2(svc)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,621 @@
+// Package sim is the closed-loop QSA simulator: it binds the network
+// model, Chord-based discovery, the composition and peer-selection tiers,
+// probing, and session admission into the experiment loop of the paper's
+// evaluation (§4.1):
+//
+//   - N peers (paper: 10⁴) with heterogeneous capacities;
+//   - requests arrive at a configurable rate (req/min), each drawn from 10
+//     applications with 2–5 hop paths, 3 QoS levels and 1–60 min sessions;
+//   - peers churn at a configurable topological variation rate (peers/min,
+//     half departures, half arrivals);
+//   - a request succeeds iff it is composed, instantiated, admitted, and
+//     every provisioning peer stays connected for the whole session.
+//
+// The simulator runs one of three algorithms: QSA (the paper's model),
+// Random, or Fixed (the client-server baseline). All randomness derives
+// from Config.Seed; identical configurations replay identically.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/can"
+	"repro/internal/catalog"
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/metrics"
+	"repro/internal/probe"
+	"repro/internal/qos"
+	"repro/internal/registry"
+	"repro/internal/selection"
+	"repro/internal/service"
+	"repro/internal/session"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Algorithm selects the aggregation strategy under test.
+type Algorithm int
+
+const (
+	// QSA is the paper's QoS-aware service aggregation model: QCS
+	// composition + Φ-based dynamic peer selection.
+	QSA Algorithm = iota
+	// Random composes a random QoS-consistent path and picks random peers.
+	Random
+	// Fixed always uses the same path on dedicated peers (client-server).
+	Fixed
+	// HybridRandomCompose isolates the peer-selection tier: random
+	// QoS-consistent path, Φ-based peer selection (ablation A1).
+	HybridRandomCompose
+	// HybridRandomSelect isolates the composition tier: QCS path, random
+	// peer selection (ablation A2).
+	HybridRandomSelect
+)
+
+// Algorithms lists the paper's three strategies in presentation order.
+var Algorithms = []Algorithm{QSA, Random, Fixed}
+
+// AllAlgorithms additionally includes the ablation hybrids.
+var AllAlgorithms = []Algorithm{QSA, Random, Fixed, HybridRandomCompose, HybridRandomSelect}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case QSA:
+		return "qsa"
+	case Random:
+		return "random"
+	case Fixed:
+		return "fixed"
+	case HybridRandomCompose:
+		return "randpath+phi"
+	case HybridRandomSelect:
+		return "qcs+randpeer"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a string produced by String back to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "qsa":
+		return QSA, nil
+	case "random":
+		return Random, nil
+	case "fixed":
+		return Fixed, nil
+	case "randpath+phi":
+		return HybridRandomCompose, nil
+	case "qcs+randpeer":
+		return HybridRandomSelect, nil
+	}
+	return 0, fmt.Errorf("sim: unknown algorithm %q", s)
+}
+
+// Strategy maps the algorithm onto the core engine's composer/selector
+// pair.
+func (a Algorithm) Strategy() core.Strategy {
+	switch a {
+	case QSA:
+		return core.StrategyQSA
+	case Random:
+		return core.StrategyRandom
+	case Fixed:
+		return core.StrategyFixed
+	case HybridRandomCompose:
+		// The hybrids carry QSA's retry budget so the tier ablations vary
+		// exactly one thing.
+		return core.Strategy{Compose: core.ComposeRandom, Select: core.SelectPhi, Retries: core.StrategyQSA.Retries}
+	case HybridRandomSelect:
+		return core.Strategy{Compose: core.ComposeQCS, Select: core.SelectRandom, Retries: core.StrategyQSA.Retries}
+	default:
+		panic(fmt.Sprintf("sim: unknown algorithm %d", int(a)))
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Seed      uint64
+	Algorithm Algorithm
+
+	Peers       int     // N; paper: 10000
+	RequestRate float64 // requests per minute
+	ChurnRate   float64 // peers arriving+leaving per minute (0 = static)
+	Duration    float64 // simulated minutes of workload
+
+	SampleWindow float64 // ψ sampling window in minutes (paper Fig. 6: 2)
+
+	// EnableRecovery turns on the runtime failure-recovery extension
+	// (paper future work): on a provisioning peer's departure the session
+	// re-selects a replacement peer instead of failing.
+	EnableRecovery bool
+
+	// RegistryRefresh is the provider re-registration period in minutes;
+	// default half the registry TTL.
+	RegistryRefresh float64
+
+	// Lookup selects the discovery substrate: "chord" (default) or "can" —
+	// the two protocols the paper names (§3.2). Ignored when Registry.DHT
+	// is set explicitly.
+	Lookup string
+
+	// DisableRetry forces single-shot aggregation (the paper-literal
+	// behaviour, without the recomposition-on-failure extension); used by
+	// the A6 ablation.
+	DisableRetry bool
+
+	// TraceSink, when non-nil, receives every issued request — record it
+	// with internal/trace to replay the workload later.
+	TraceSink func(trace.Entry)
+
+	// Replay, when non-empty, replaces the Poisson workload with this
+	// exact request sequence; RequestRate is ignored. Entries whose user
+	// has departed fall back to a random alive peer.
+	Replay []trace.Entry
+
+	Catalog   catalog.Config
+	Topology  topology.Config
+	Probe     probe.Config
+	Registry  registry.Config
+	Compose   compose.Config
+	Selection selection.Config
+}
+
+// DefaultConfig returns the paper's evaluation setup for the given
+// algorithm, scaled to n peers (the paper uses n = 10000).
+func DefaultConfig(seed uint64, alg Algorithm, n int) Config {
+	return Config{
+		Seed:         seed,
+		Algorithm:    alg,
+		Peers:        n,
+		RequestRate:  100,
+		ChurnRate:    0,
+		Duration:     60,
+		SampleWindow: 2,
+		Catalog:      catalog.Default(seed),
+		Topology:     topology.Default(seed, n),
+		Selection:    selection.DefaultConfig(),
+	}
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Peers <= 0 {
+		return fmt.Errorf("sim: need a positive peer count")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("sim: need a positive duration")
+	}
+	if c.RequestRate < 0 || c.ChurnRate < 0 {
+		return fmt.Errorf("sim: negative rates")
+	}
+	if c.SampleWindow == 0 {
+		c.SampleWindow = 2
+	}
+	if c.Catalog.Apps == 0 {
+		c.Catalog = catalog.Default(c.Seed)
+	}
+	if c.Topology.N == 0 {
+		c.Topology = topology.Default(c.Seed, c.Peers)
+	}
+	c.Topology.N = c.Peers
+	c.Topology.Seed = c.Seed
+	if len(c.Selection.Weights) == 0 {
+		c.Selection = selection.DefaultConfig()
+	}
+	if c.RegistryRefresh == 0 {
+		ttl := c.Registry.TTL
+		if ttl == 0 {
+			ttl = 10
+		}
+		c.RegistryRefresh = ttl / 2
+	}
+	if c.Registry.DHT == nil {
+		switch c.Lookup {
+		case "", "chord":
+			// registry.New builds a Chord ring by default.
+		case "can":
+			c.Registry.DHT = registry.NewCANDHT(can.Config{})
+		default:
+			return fmt.Errorf("sim: unknown lookup substrate %q", c.Lookup)
+		}
+	}
+	return nil
+}
+
+// RequestStats breaks down request outcomes by failure stage.
+type RequestStats struct {
+	Issued          uint64
+	DiscoveryFailed uint64 // some abstract service had no candidates
+	ComposeFailed   uint64 // no QoS-consistent path
+	SelectionFailed uint64 // no selectable peer at some hop
+	AdmissionFailed uint64 // reservation rejected
+	DepartureFailed uint64 // admitted but a provisioning peer left
+	Succeeded       uint64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config     Config
+	Psi        metrics.Ratio   // overall success ratio ψ
+	Series     []metrics.Point // ψ per sampling window
+	Requests   RequestStats
+	Sessions   session.Counters
+	Probes     probe.Stats
+	Selection  selection.Stats      // meaningful for QSA only
+	Lookup     registry.LookupStats // DHT routing statistics
+	AliveAtEnd int
+}
+
+// Simulator is one configured run.
+type Simulator struct {
+	cfg    Config
+	engine *eventsim.Engine
+	net    *topology.Network
+	cat    *catalog.Catalog
+	reg    *registry.Registry
+	probes *probe.Manager
+	sess   *session.Manager
+
+	qsaSel *selection.Selector
+	agg    *core.Aggregator
+
+	sampler *metrics.Sampler
+	stats   RequestStats
+
+	rngWorkload *xrand.Source
+	rngChurn    *xrand.Source
+	rngProvider *xrand.Source
+
+	provides     map[topology.PeerID][]*service.Instance
+	adoptPerJoin int // instances a freshly arrived peer starts providing
+}
+
+// New builds a simulator: network, DHT, catalog, initial provider
+// placement and registrations.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Compose.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	s := &Simulator{
+		cfg:         cfg,
+		engine:      eventsim.New(),
+		sampler:     metrics.NewSampler(cfg.SampleWindow),
+		rngWorkload: root.SplitLabeled("workload"),
+		rngChurn:    root.SplitLabeled("churn"),
+		rngProvider: root.SplitLabeled("providers"),
+		provides:    make(map[topology.PeerID][]*service.Instance),
+	}
+	var err error
+	if s.net, err = topology.New(cfg.Topology); err != nil {
+		return nil, err
+	}
+	if s.cat, err = catalog.New(cfg.Catalog); err != nil {
+		return nil, err
+	}
+	s.reg = registry.New(cfg.Registry, cfg.Seed)
+	s.probes = probe.NewManager(cfg.Probe, s.net)
+	s.sess = session.NewManager(s.net, s.engine)
+	if s.qsaSel, err = selection.New(cfg.Selection, s.probes, root.SplitLabeled("selection")); err != nil {
+		return nil, err
+	}
+	s.agg = &core.Aggregator{
+		Registry:       s.reg,
+		Sessions:       s.sess,
+		PhiSelector:    s.qsaSel,
+		RandomSelector: selection.NewRandom(root.SplitLabeled("randsel")),
+		FixedSelector:  selection.NewFixed(),
+		ComposeConfig:  cfg.Compose,
+		RNG:            root.SplitLabeled("composerand"),
+	}
+
+	// Join every initial peer to the DHT, then stabilize: the grid under
+	// observation has been running, so its routing state starts converged.
+	for i := 0; i < s.net.TotalCount(); i++ {
+		if err := s.reg.AddPeer(topology.PeerID(i)); err != nil {
+			return nil, err
+		}
+	}
+	s.reg.Stabilize()
+
+	// Initial provider placement: each instance gets 40–80 uniformly
+	// chosen provider peers (paper §4.1).
+	total := 0
+	for _, inst := range s.cat.AllInstances() {
+		n := s.cat.ProviderCount(s.rngProvider, s.net.TotalCount())
+		total += n
+		seen := make(map[topology.PeerID]bool, n)
+		for len(seen) < n {
+			p := topology.PeerID(s.rngProvider.Intn(s.net.TotalCount()))
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			s.provides[p] = append(s.provides[p], inst)
+			if err := s.reg.Register(p, inst, p, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.adoptPerJoin = (total + s.net.TotalCount() - 1) / s.net.TotalCount()
+
+	s.sess.OnEnd = s.onSessionEnd
+	if cfg.EnableRecovery {
+		s.sess.Recovery = s.recover
+	}
+	return s, nil
+}
+
+// Engine exposes the simulation clock (for embedding in larger harnesses).
+func (s *Simulator) Engine() *eventsim.Engine { return s.engine }
+
+// Network exposes the peer population.
+func (s *Simulator) Network() *topology.Network { return s.net }
+
+// Catalog exposes the generated application catalog.
+func (s *Simulator) Catalog() *catalog.Catalog { return s.cat }
+
+func (s *Simulator) onSessionEnd(sess *session.Session) {
+	ok := sess.State == session.Completed
+	s.sampler.Record(sess.Start, ok)
+	if ok {
+		s.stats.Succeeded++
+	} else {
+		s.stats.DepartureFailed++
+	}
+}
+
+// recover implements the runtime-recovery extension via the core engine.
+func (s *Simulator) recover(sess *session.Session, k int, now float64) (topology.PeerID, bool) {
+	return s.agg.Recover(sess, k, now)
+}
+
+// issueRequest runs the full aggregation pipeline for one user request.
+func (s *Simulator) issueRequest(now float64) {
+	user := s.net.RandomAliveFrom(s.rngWorkload)
+	req := s.cat.SampleRequest(s.rngWorkload)
+	if user == nil {
+		s.stats.Issued++
+		s.stats.DiscoveryFailed++
+		s.sampler.Record(now, false)
+		return
+	}
+	if s.cfg.TraceSink != nil {
+		s.cfg.TraceSink(trace.Entry{
+			T:        now,
+			User:     int(user.ID),
+			App:      req.App.ID,
+			Level:    req.Level.String(),
+			Duration: req.Duration,
+		})
+	}
+	s.issueWith(now, user, req)
+}
+
+// issueReplayed replays one recorded request.
+func (s *Simulator) issueReplayed(now float64, e trace.Entry) {
+	var app *service.Application
+	for _, a := range s.cat.Apps {
+		if a.ID == e.App {
+			app = a
+			break
+		}
+	}
+	if app == nil {
+		s.stats.Issued++
+		s.stats.DiscoveryFailed++
+		s.sampler.Record(now, false)
+		return
+	}
+	lvl, err := qos.ParseLevel(e.Level)
+	if err != nil {
+		s.stats.Issued++
+		s.stats.DiscoveryFailed++
+		s.sampler.Record(now, false)
+		return
+	}
+	user, perr := s.net.Peer(topology.PeerID(e.User))
+	if perr != nil || !user.Alive {
+		user = s.net.RandomAliveFrom(s.rngWorkload)
+	}
+	if user == nil {
+		s.stats.Issued++
+		s.stats.DiscoveryFailed++
+		s.sampler.Record(now, false)
+		return
+	}
+	req := &service.Request{
+		App:      app,
+		Level:    lvl,
+		UserQoS:  s.cat.UserQoS(s.rngWorkload, lvl),
+		Duration: e.Duration,
+	}
+	s.issueWith(now, user, req)
+}
+
+// issueWith runs the aggregation pipeline for a concrete (user, request).
+func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Request) {
+	s.stats.Issued++
+	strat := s.cfg.Algorithm.Strategy()
+	if s.cfg.DisableRetry {
+		strat.Retries = 0
+	}
+	_, err := s.agg.Aggregate(user.ID, req, now, strat)
+	if err == nil {
+		return // outcome recorded by onSessionEnd
+	}
+	switch core.StageOf(err) {
+	case core.StageDiscovery:
+		s.stats.DiscoveryFailed++
+	case core.StageCompose:
+		s.stats.ComposeFailed++
+	case core.StageSelection:
+		s.stats.SelectionFailed++
+	default:
+		s.stats.AdmissionFailed++
+	}
+	s.sampler.Record(now, false)
+}
+
+// churnDepart removes one random peer and propagates the departure.
+func (s *Simulator) churnDepart(now float64) {
+	p := s.net.DepartRandom(now)
+	if p == nil {
+		return
+	}
+	s.sess.PeerDeparted(p.ID, now)
+	s.probes.DropPeer(p.ID)
+	// Abrupt departure: the DHT node fails, registrations age out via TTL.
+	_ = s.reg.RemovePeer(p.ID, false)
+}
+
+// churnArrive adds a fresh peer that adopts a provider load matching the
+// population average, keeping instance replication roughly stationary.
+func (s *Simulator) churnArrive(now float64) {
+	p, err := s.net.Join(now)
+	if err != nil {
+		return
+	}
+	if err := s.reg.AddPeer(p.ID); err != nil {
+		return
+	}
+	all := s.cat.AllInstances()
+	for i := 0; i < s.adoptPerJoin; i++ {
+		inst := all[s.rngProvider.Intn(len(all))]
+		s.provides[p.ID] = append(s.provides[p.ID], inst)
+		_ = s.reg.Register(p.ID, inst, p.ID, now)
+	}
+}
+
+// refreshRegistrations re-registers every alive provider's instances —
+// the soft-state refresh that keeps discovery converged under churn.
+func (s *Simulator) refreshRegistrations(now float64) {
+	total := s.net.TotalCount()
+	for id := 0; id < total; id++ {
+		pid := topology.PeerID(id)
+		insts := s.provides[pid]
+		if len(insts) == 0 {
+			continue
+		}
+		p := s.net.MustPeer(pid)
+		if !p.Alive {
+			continue
+		}
+		for _, inst := range insts {
+			_ = s.reg.Register(pid, inst, pid, now)
+		}
+	}
+}
+
+// scheduleRequests plans one minute of workload starting at now.
+func (s *Simulator) scheduleRequests(now float64) {
+	nReq := s.rngWorkload.Poisson(s.cfg.RequestRate)
+	for i := 0; i < nReq; i++ {
+		at := now + s.rngWorkload.Float64()
+		s.engine.At(at, func() { s.issueRequest(at) })
+	}
+}
+
+// scheduleChurn plans one minute of topological variation starting at now.
+func (s *Simulator) scheduleChurn(now float64) {
+	if s.cfg.ChurnRate <= 0 {
+		return
+	}
+	dep := s.rngChurn.Poisson(s.cfg.ChurnRate / 2)
+	arr := s.rngChurn.Poisson(s.cfg.ChurnRate / 2)
+	for i := 0; i < dep; i++ {
+		at := now + s.rngChurn.Float64()
+		s.engine.At(at, func() { s.churnDepart(at) })
+	}
+	for i := 0; i < arr; i++ {
+		at := now + s.rngChurn.Float64()
+		s.engine.At(at, func() { s.churnArrive(at) })
+	}
+}
+
+// Run executes the configured workload and returns the result. Sessions
+// still active when the workload window closes are allowed to play out —
+// with churn and registry refresh still running, so late sessions face the
+// same departure risk as early ones — and every request gets a definite
+// outcome.
+func (s *Simulator) Run() *Result {
+	// Sessions issued in the last workload minute can run for up to the
+	// catalog's maximum duration past the window.
+	maxDur := s.cfg.Catalog.MaxDuration
+	if maxDur <= 0 {
+		maxDur = 60
+	}
+	drainHorizon := s.cfg.Duration + maxDur
+	var requests *eventsim.Ticker
+	if len(s.cfg.Replay) > 0 {
+		for _, e := range s.cfg.Replay {
+			if e.T >= s.cfg.Duration {
+				continue
+			}
+			e := e
+			s.engine.At(e.T, func() { s.issueReplayed(e.T, e) })
+		}
+	} else {
+		requests = s.engine.Every(0, 1, func() {
+			if s.engine.Now() < s.cfg.Duration {
+				s.scheduleRequests(s.engine.Now())
+			}
+		})
+	}
+	churn := s.engine.Every(0, 1, func() {
+		if s.engine.Now() < drainHorizon {
+			s.scheduleChurn(s.engine.Now())
+		}
+	})
+	refresh := s.engine.Every(s.cfg.RegistryRefresh, s.cfg.RegistryRefresh, func() {
+		s.refreshRegistrations(s.engine.Now())
+	})
+	s.engine.RunUntil(s.cfg.Duration)
+	if requests != nil {
+		requests.Cancel()
+	}
+	s.engine.RunUntil(drainHorizon)
+	churn.Cancel()
+	refresh.Cancel()
+	s.engine.Run() // drain any remaining completions
+
+	res := &Result{
+		Config:     s.cfg,
+		Psi:        s.sampler.Total(),
+		Series:     s.sampler.Series(),
+		Requests:   s.stats,
+		Sessions:   s.sess.Counters(),
+		Probes:     s.probes.Stats(),
+		Selection:  s.qsaSel.Stats(),
+		Lookup:     s.reg.Stats(),
+		AliveAtEnd: s.net.AliveCount(),
+	}
+	// Trim the series to the workload window (requests are attributed to
+	// issue time, so later windows are empty anyway).
+	trimmed := res.Series[:0]
+	for _, p := range res.Series {
+		if p.Time <= s.cfg.Duration+s.cfg.SampleWindow {
+			trimmed = append(trimmed, p)
+		}
+	}
+	res.Series = trimmed
+	sort.SliceStable(res.Series, func(i, j int) bool { return res.Series[i].Time < res.Series[j].Time })
+	return res
+}
+
+// Run is the one-call convenience: build a simulator from cfg and run it.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}

@@ -1,0 +1,64 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQoS checks the QoS parser never panics and that everything it
+// accepts round-trips through FormatQoS.
+func FuzzParseQoS(f *testing.F) {
+	for _, seed := range []string{
+		"format=MPEG",
+		"fps=[10,30]",
+		"format=MPEG, fps=[10,30], res=720",
+		"a=1,b=2",
+		"x=[1,2],y=sym",
+		"",
+		"x=[,]",
+		"====",
+		"a=[1,[2,3]]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseQoS(s)
+		if err != nil || v == nil {
+			return
+		}
+		back, err := ParseQoS(FormatQoS(v))
+		if err != nil {
+			t.Fatalf("formatted output failed to re-parse: %q → %q: %v", s, FormatQoS(v), err)
+		}
+		if back.Dim() != v.Dim() {
+			t.Fatalf("round trip changed dimensionality: %d vs %d", v.Dim(), back.Dim())
+		}
+	})
+}
+
+// FuzzParse checks the block parser never panics and that accepted specs
+// round-trip through Format.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("instance a {\nservice: s\ncpu: 1\n}\n")
+	f.Add("application a {\npath: x -> y\n}\n")
+	f.Add("instance a {}\n")
+	f.Add("#only a comment\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := s.Format(&out); err != nil {
+			t.Fatalf("Format failed on accepted spec: %v", err)
+		}
+		s2, err := Parse(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("formatted spec failed to re-parse: %v\n%s", err, out.String())
+		}
+		if len(s2.Instances) != len(s.Instances) || len(s2.Applications) != len(s.Applications) {
+			t.Fatal("round trip lost blocks")
+		}
+	})
+}

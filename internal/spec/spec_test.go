@@ -1,0 +1,254 @@
+package spec
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/service"
+)
+
+const sample = `
+# the paper's motivating application
+instance server/mpeg {
+    service: video-server
+    input:   media=disk
+    output:  format=MPEG, lang=zh, fps=[22,26]
+    cpu:     60
+    memory:  80
+    kbps:    80
+}
+
+instance player/real {
+    service: video-player
+    input:   format=MPEG, fps=[0,30]   # accepts anything up to 30 fps
+    output:  screen=yes, fps=[22,26]
+    cpu:     40
+    memory:  50
+    kbps:    60
+}
+
+application vod {
+    path: video-server -> video-player
+}
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Instances) != 2 || len(s.Applications) != 1 {
+		t.Fatalf("parsed %d instances, %d applications", len(s.Instances), len(s.Applications))
+	}
+	srv := s.Instances[0]
+	if srv.ID != "server/mpeg" || srv.Service != "video-server" {
+		t.Fatalf("instance = %+v", srv)
+	}
+	if srv.R[resource.CPU] != 60 || srv.R[resource.Memory] != 80 || srv.OutKbps != 80 {
+		t.Fatalf("resources = %v / %v", srv.R, srv.OutKbps)
+	}
+	fps, ok := srv.Qout.Get("fps")
+	if !ok || fps.Lo != 22 || fps.Hi != 26 {
+		t.Fatalf("fps = %+v", fps)
+	}
+	lang, ok := srv.Qout.Get("lang")
+	if !ok || lang.Sym != "zh" {
+		t.Fatalf("lang = %+v", lang)
+	}
+	app := s.Applications[0]
+	if app.ID != "vod" || len(app.Path) != 2 || app.Path[1] != "video-player" {
+		t.Fatalf("app = %+v", app)
+	}
+	// The parsed chain must be QoS-consistent end to end.
+	if !s.Instances[0].CanFeed(s.Instances[1]) {
+		t.Fatal("server should feed player")
+	}
+}
+
+func TestParseQoS(t *testing.T) {
+	v, err := ParseQoS("format=MPEG, fps=[10,30], res=720")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dim() != 3 {
+		t.Fatalf("dims = %d", v.Dim())
+	}
+	res, _ := v.Get("res")
+	if res.Lo != 720 || res.Hi != 720 {
+		t.Fatalf("numeric value must become a point: %+v", res)
+	}
+	if _, err := ParseQoS("novalue"); err == nil {
+		t.Fatal("missing '=' must fail")
+	}
+	if _, err := ParseQoS("x=[5,1]"); err == nil {
+		t.Fatal("inverted range must fail")
+	}
+	if _, err := ParseQoS("x=[5]"); err == nil {
+		t.Fatal("single-bound range must fail")
+	}
+	if _, err := ParseQoS("x=[a,b]"); err == nil {
+		t.Fatal("non-numeric range must fail")
+	}
+	if _, err := ParseQoS("x="); err == nil {
+		t.Fatal("empty value must fail")
+	}
+	if _, err := ParseQoS("x=1, x=2"); err == nil {
+		t.Fatal("duplicate dimension must fail")
+	}
+	if got, err := ParseQoS("  "); err != nil || got != nil {
+		t.Fatal("blank QoS must parse to nil")
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	bad := "instance x {\n    service: s\n    bogus: 1\n}\n"
+	_, err := Parse(strings.NewReader(bad))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []string{
+		"garbage\n",
+		"instance x {\n",  // unclosed block
+		"widget x {\n}\n", // unknown kind
+		"instance x {\nno colon here at all\n}\n", // hmm: has no colon
+		"instance x {\n}\n",                       // invalid: empty instance
+		"instance x {\nservice: s\ncpu: abc\n}\n", // bad number
+		"application a {\n}\n",                    // empty path
+		"application a {\npath: s -> \n}\n",       // empty hop
+		"instance x {\nservice: s\ncpu: 1\n}\ninstance x {\nservice: s\ncpu: 1\n}\n", // dup
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d parsed without error:\n%s", i, c)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := s.Format(&out); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out.String())
+	}
+	if len(s2.Instances) != len(s.Instances) || len(s2.Applications) != len(s.Applications) {
+		t.Fatal("round trip lost blocks")
+	}
+	for i := range s.Instances {
+		a, b := s.Instances[i], s2.Instances[i]
+		if a.ID != b.ID || a.Service != b.Service || a.R[0] != b.R[0] ||
+			a.OutKbps != b.OutKbps || !sameVector(a.Qin, b.Qin) || !sameVector(a.Qout, b.Qout) {
+			t.Fatalf("instance %d changed in round trip:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func sameVector(a, b qos.Vector) bool {
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	for _, p := range a {
+		q, ok := b.Get(p.Name)
+		if !ok || q.Sym != p.Sym || q.Lo != p.Lo || q.Hi != p.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: FormatQoS → ParseQoS is the identity on arbitrary vectors with
+// printable names.
+func TestPropertyQoSRoundTrip(t *testing.T) {
+	check := func(nRaw uint8, symVal uint8, lo int16, width uint8) bool {
+		n := int(nRaw%4) + 1
+		var params []qos.Param
+		for i := 0; i < n; i++ {
+			name := string(rune('a' + i))
+			if i%2 == 0 {
+				params = append(params, qos.Sym(name, "v"+string(rune('A'+symVal%26))))
+			} else {
+				params = append(params, qos.Range(name, float64(lo), float64(lo)+float64(width)))
+			}
+		}
+		v := qos.MustVector(params...)
+		back, err := ParseQoS(FormatQoS(v))
+		if err != nil {
+			return false
+		}
+		return sameVector(v, back)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecDrivesComposition(t *testing.T) {
+	// End-to-end: parse a spec, load it into the public grid, aggregate.
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the service types directly to double-check cross-package fit.
+	var names []service.Name
+	for _, app := range s.Applications {
+		names = append(names, app.Path...)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTestdataVODSpec(t *testing.T) {
+	f, err := os.Open("testdata/vod.spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Instances) != 5 || len(s.Applications) != 1 {
+		t.Fatalf("vod.spec: %d instances, %d applications", len(s.Instances), len(s.Applications))
+	}
+	app := s.Applications[0]
+	if app.Hops() != 4 {
+		t.Fatalf("vod path = %v", app.Path)
+	}
+	// The MPEG chain must be consistent end to end.
+	byService := map[service.Name][]*service.Instance{}
+	for _, in := range s.Instances {
+		byService[in.Service] = append(byService[in.Service], in)
+	}
+	var chain []*service.Instance
+	for _, svc := range app.Path {
+		found := false
+		for _, in := range byService[svc] {
+			if len(chain) == 0 || chain[len(chain)-1].CanFeed(in) {
+				chain = append(chain, in)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no consistent instance for %s", svc)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package trace records and replays simulator workloads as JSON-lines
+// streams. A trace pins down exactly which requests arrived when, from
+// which users — so a run can be reproduced under a different algorithm,
+// configuration, or build, holding the workload constant (the same
+// request sequence the paper would call "a set of user requests generated
+// each minute and assigned on randomly chosen peers").
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Entry is one user request issue event.
+type Entry struct {
+	// T is the issue time in simulated minutes.
+	T float64 `json:"t"`
+	// User is the requesting peer's ID at record time.
+	User int `json:"user"`
+	// App is the application ID from the catalog (e.g. "app3").
+	App string `json:"app"`
+	// Level is the QoS level string ("low", "average", "high").
+	Level string `json:"level"`
+	// Duration is the session duration in minutes.
+	Duration float64 `json:"duration"`
+}
+
+// Validate checks structural sanity.
+func (e Entry) Validate() error {
+	if e.T < 0 {
+		return fmt.Errorf("trace: negative time %v", e.T)
+	}
+	if e.User < 0 {
+		return fmt.Errorf("trace: negative user %d", e.User)
+	}
+	if e.App == "" {
+		return fmt.Errorf("trace: empty app")
+	}
+	switch e.Level {
+	case "low", "average", "high":
+	default:
+		return fmt.Errorf("trace: unknown level %q", e.Level)
+	}
+	if e.Duration <= 0 {
+		return fmt.Errorf("trace: non-positive duration %v", e.Duration)
+	}
+	return nil
+}
+
+// Writer encodes entries as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one entry.
+func (t *Writer) Write(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if err := t.enc.Encode(e); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns how many entries were written.
+func (t *Writer) Count() int { return t.n }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Read decodes a whole trace, validating every entry and requiring
+// non-decreasing timestamps.
+func Read(r io.Reader) ([]Entry, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Entry
+	prev := -1.0
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: entry %d: %w", len(out)+1, err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: entry %d: %w", len(out)+1, err)
+		}
+		if e.T < prev {
+			return nil, fmt.Errorf("trace: entry %d: time %v goes backwards", len(out)+1, e.T)
+		}
+		prev = e.T
+		out = append(out, e)
+	}
+	return out, nil
+}

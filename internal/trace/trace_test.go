@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	w := NewWriter(&buf)
+	entries := []Entry{
+		{T: 0.5, User: 3, App: "app1", Level: "low", Duration: 10},
+		{T: 1.2, User: 9, App: "app7", Level: "high", Duration: 59.5},
+		{T: 1.2, User: 9, App: "app7", Level: "average", Duration: 1},
+	}
+	for _, e := range entries {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("read %d entries", len(got))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Entry{
+		{T: -1, User: 1, App: "a", Level: "low", Duration: 1},
+		{T: 1, User: -1, App: "a", Level: "low", Duration: 1},
+		{T: 1, User: 1, App: "", Level: "low", Duration: 1},
+		{T: 1, User: 1, App: "a", Level: "ultra", Duration: 1},
+		{T: 1, User: 1, App: "a", Level: "low", Duration: 0},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad entry %d accepted", i)
+		}
+		var buf strings.Builder
+		if err := NewWriter(&buf).Write(e); err == nil {
+			t.Errorf("writer accepted bad entry %d", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbageAndDisorder(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	disorder := `{"t":5,"user":1,"app":"a","level":"low","duration":1}
+{"t":4,"user":1,"app":"a","level":"low","duration":1}
+`
+	if _, err := Read(strings.NewReader(disorder)); err == nil {
+		t.Fatal("time going backwards accepted")
+	}
+	invalid := `{"t":1,"user":1,"app":"a","level":"nope","duration":1}` + "\n"
+	if _, err := Read(strings.NewReader(invalid)); err == nil {
+		t.Fatal("invalid entry accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v, %v", got, err)
+	}
+}
