@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI gate for the QSA reproduction. Everything here is hermetic: pure Go,
+# standard library only, no network.
+#
+#   build     the whole module, commands included
+#   vet       the stock Go checks
+#   qsalint   the repo's own analyzers (determinism, float-eq,
+#             mutex-across-block, keyed-literals, panic-in-library,
+#             unchecked-error) — see README "Static analysis"
+#   test      the short suite, then again under the race detector
+#
+# Full statistical replays (minutes): go test ./...
+set -eu
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go run ./cmd/qsalint ./...'
+go run ./cmd/qsalint ./...
+
+echo '>> go test -short ./...'
+go test -short ./...
+
+echo '>> go test -race -short ./...'
+go test -race -short ./...
+
+echo 'ci: ok'

@@ -1,0 +1,66 @@
+// Command qsalint runs the repo's own static-analysis pass (package
+// internal/analysis) over the module: vet-style diagnostics with
+// file:line positions, exit status 1 when anything is found.
+//
+// Usage:
+//
+//	qsalint [-list] [dir]
+//
+// dir defaults to the current directory; the module containing it is
+// linted as a whole (package patterns like ./... are accepted and mean
+// the same thing). -list prints the analyzers and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qsalint [-list] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if arg := flag.Arg(0); arg != "" {
+		// Accept go-style patterns: "./..." or "repro/..." just mean the
+		// whole module.
+		dir = strings.TrimSuffix(arg, "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" || strings.Contains(dir, "...") {
+			dir = "."
+		}
+	}
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsalint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsalint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analysis.All())
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qsalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -49,6 +49,7 @@ func main() {
 	cfg.Lookup = *lookup
 
 	var tw *trace.Writer
+	var traceErr error
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -57,7 +58,13 @@ func main() {
 		}
 		defer f.Close()
 		tw = trace.NewWriter(f)
-		cfg.TraceSink = func(e trace.Entry) { tw.Write(e) }
+		// I/O errors are sticky in the buffered writer and resurface at
+		// Flush; keep the first validation error too.
+		cfg.TraceSink = func(e trace.Entry) {
+			if err := tw.Write(e); err != nil && traceErr == nil {
+				traceErr = err
+			}
+		}
 	}
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
@@ -81,8 +88,11 @@ func main() {
 		os.Exit(1)
 	}
 	if tw != nil {
-		if err := tw.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if traceErr == nil {
+			traceErr = tw.Flush()
+		}
+		if traceErr != nil {
+			fmt.Fprintln(os.Stderr, traceErr)
 			os.Exit(1)
 		}
 		fmt.Printf("recorded %d requests to %s\n", tw.Count(), *traceOut)

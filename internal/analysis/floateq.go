@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags ==/!= between floating-point operands. QoS levels,
+// resource quantities and simulated time are all float64; after any
+// arithmetic, exact equality is a latent bug in the satisfy relation
+// (paper eq. 1) and in reservation accounting. Two exemptions keep the
+// signal clean:
+//
+//   - comparison against the exact literal 0 (the "unset config field"
+//     sentinel idiom) — zero is exactly representable and never the
+//     result of drift-prone arithmetic in those checks;
+//   - sites annotated `// lint:allow float-eq <reason>` where exact
+//     equality is the intent (e.g. heap tie-breaking on event
+//     timestamps).
+var FloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc:  "flag ==/!= between float operands outside exact-zero sentinel checks",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := info.Types[be.X], info.Types[be.Y]
+			if !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			// Both constant: evaluated at compile time, no runtime drift.
+			if x.Value != nil && y.Value != nil {
+				return true
+			}
+			// Exact-zero sentinel checks are the idiomatic "field unset"
+			// test and are precise by IEEE-754 construction.
+			if isExactZero(x.Value) || isExactZero(y.Value) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "%s compares floats exactly; use an ordering/tolerance or annotate with lint:allow float-eq", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	f, ok := constant.Float64Val(constant.ToFloat(v))
+	return ok && f == 0
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// keyedLitTargets are the specification-carrying struct types whose
+// composite literals must use field keys. These structs grow fields as
+// the model grows (the QoS vector gained levels, the instance spec gained
+// bandwidth); positional literals compile on after a field insertion but
+// bind values to the wrong dimensions. Keys are "package-basename.Type".
+var keyedLitTargets = map[string]bool{
+	"qos.Param":             true,
+	"service.Instance":      true,
+	"service.Application":   true,
+	"service.Request":       true,
+	"spec.Spec":             true,
+	"netproto.WireParam":    true,
+	"netproto.WireInstance": true,
+	"netproto.Config":       true,
+}
+
+// KeyedLiterals requires field-keyed composite literals for the QoS,
+// service-spec and wire structs listed in keyedLitTargets.
+var KeyedLiterals = &Analyzer{
+	Name: "keyed-literals",
+	Doc:  "require field-keyed composite literals for QoS/spec/wire structs",
+	Run:  runKeyedLiterals,
+}
+
+func runKeyedLiterals(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			tv, ok := info.Types[lit]
+			if !ok {
+				return true
+			}
+			name := targetName(tv.Type)
+			if !keyedLitTargets[name] {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if _, keyed := elt.(*ast.KeyValueExpr); !keyed {
+					pass.Reportf(lit.Pos(), "composite literal of %s must use field keys (fields shift as the spec model grows)", name)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// targetName renders a named struct type as "package-basename.Type", the
+// key form used by keyedLitTargets. Non-struct and unnamed types return
+// "".
+func targetName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	return base + "." + obj.Name()
+}

@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// MutexAcrossBlock flags channel operations and blocking calls made while
+// a sync.Mutex or sync.RWMutex is held. In the network prototype every
+// RPC can take seconds; holding the peer mutex across one serializes the
+// node and invites lock-ordering deadlocks. The analysis is
+// intra-procedural over source order (the repo's locking style is
+// straight-line lock/unlock), with one package-local extension: a
+// function whose own body performs a blocking operation (directly or via
+// another such function in the same package) is itself treated as
+// blocking, so `p.mu.Lock(); rpc(...)` is caught even though the dial
+// hides inside rpc.
+//
+// A `defer mu.Unlock()` keeps the mutex held for the rest of the
+// function, so blocking operations after it are still flagged.
+var MutexAcrossBlock = &Analyzer{
+	Name: "mutex-across-block",
+	Doc:  "flag channel ops and blocking calls while a sync mutex is held",
+	Run:  runMutexAcrossBlock,
+}
+
+// syncBlockingMethods are sync/net methods that park the goroutine.
+var syncBlockingMethods = map[string]map[string]bool{
+	"sync": {"Wait": true}, // WaitGroup.Wait, Cond.Wait
+	"net":  {"Accept": true, "Read": true, "Write": true},
+}
+
+// blockingPkgFuncs are package-level stdlib functions that park the
+// goroutine.
+var blockingPkgFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"net":  {"Dial": true, "DialTimeout": true, "DialIP": true, "DialTCP": true, "DialUDP": true},
+}
+
+// lockMethods classifies sync.(RW)Mutex methods into acquisitions and
+// releases. TryLock variants never block and acquire only conditionally;
+// they are ignored (a false-negative trade for zero false positives).
+var lockMethods = map[string]int{
+	"Lock":    +1,
+	"RLock":   +1,
+	"Unlock":  -1,
+	"RUnlock": -1,
+}
+
+type mutexChecker struct {
+	pass     *Pass
+	info     *types.Info
+	blocking map[*types.Func]bool // package-local functions known to block
+}
+
+func runMutexAcrossBlock(pass *Pass) {
+	c := &mutexChecker{
+		pass:     pass,
+		info:     pass.TypesInfo(),
+		blocking: make(map[*types.Func]bool),
+	}
+	c.findBlockingFuncs()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+}
+
+// findBlockingFuncs computes, to a fixpoint, the package-local functions
+// whose bodies block — directly or through another local blocking
+// function.
+func (c *mutexChecker) findBlockingFuncs() {
+	type fn struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, f := range c.pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := c.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn{obj: obj, body: fd.Body})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if c.blocking[f.obj] {
+				continue
+			}
+			if c.bodyBlocks(f.body) {
+				c.blocking[f.obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// bodyBlocks reports whether a function body contains a blocking
+// operation outside nested function literals.
+func (c *mutexChecker) bodyBlocks(body *ast.BlockStmt) bool {
+	blocks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later, on some other goroutine's schedule
+		case *ast.GoStmt:
+			return false // spawning is not blocking
+		case *ast.SendStmt, *ast.SelectStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.RangeStmt:
+			if t := c.info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					blocks = true
+				}
+			}
+		case *ast.CallExpr:
+			if c.callBlocks(n) {
+				blocks = true
+			}
+		}
+		return !blocks
+	})
+	return blocks
+}
+
+// callBlocks reports whether the call is a known-blocking stdlib call or
+// a package-local function already classified as blocking.
+func (c *mutexChecker) callBlocks(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[fun]; ok {
+			if m, ok := sel.Obj().(*types.Func); ok {
+				if pkg := m.Pkg(); pkg != nil && syncBlockingMethods[pkg.Name()][m.Name()] {
+					return true
+				}
+				return c.blocking[m]
+			}
+			return false
+		}
+		// Package-qualified call.
+		if pn, ok := c.info.Uses[identOf(fun.X)].(*types.PkgName); ok {
+			return blockingPkgFuncs[pn.Imported().Path()][fun.Sel.Name]
+		}
+	case *ast.Ident:
+		if obj, ok := c.info.Uses[fun].(*types.Func); ok {
+			return c.blocking[obj]
+		}
+	}
+	return false
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// lockCall returns the held-set key and +1/-1 delta when call is a
+// sync.(RW)Mutex Lock/Unlock style method call.
+func (c *mutexChecker) lockCall(call *ast.CallExpr) (key string, delta int, ok bool) {
+	fun, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	d, named := lockMethods[fun.Sel.Name]
+	if !named {
+		return "", 0, false
+	}
+	sel, isMethod := c.info.Selections[fun]
+	if !isMethod {
+		return "", 0, false
+	}
+	m, isFunc := sel.Obj().(*types.Func)
+	if !isFunc || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", 0, false
+	}
+	t := recv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", 0, false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(fun.X), d, true
+	}
+	return "", 0, false
+}
+
+// stmts walks a statement list in source order, tracking the held-mutex
+// set and flagging blocking operations performed while it is non-empty.
+// It returns the held set at the end of the list. Branches are merged by
+// intersection (a lock is "held" after a branch only if every
+// non-terminating path holds it) — the usual lint bias toward false
+// negatives over false positives.
+func (c *mutexChecker) stmts(list []ast.Stmt, held map[string]bool) map[string]bool {
+	for _, s := range list {
+		held = c.stmt(s, held)
+	}
+	return held
+}
+
+func (c *mutexChecker) stmt(s ast.Stmt, held map[string]bool) map[string]bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, delta, ok := c.lockCall(call); ok {
+				if delta > 0 {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return held
+			}
+		}
+		c.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return; the mutex stays held for
+		// the remainder of the function. A deferred blocking call runs
+		// after the function body, so it is not flagged here.
+		if _, delta, ok := c.lockCall(s.Call); ok && delta > 0 {
+			// Pathological `defer mu.Lock()`; treat as acquisition.
+			key, _, _ := c.lockCall(s.Call)
+			held[key] = true
+		}
+	case *ast.GoStmt:
+		// The goroutine body starts with no inherited locks.
+		for _, arg := range s.Call.Args {
+			c.scanExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, map[string]bool{})
+		}
+	case *ast.SendStmt:
+		c.flagIfHeld(s.Pos(), held, "channel send")
+		c.scanExpr(s.Value, held)
+	case *ast.SelectStmt:
+		c.flagIfHeld(s.Pos(), held, "select statement")
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				c.stmts(cc.Body, copySet(held))
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		c.scanExpr(s.Cond, held)
+		bodyOut := c.stmts(s.Body.List, copySet(held))
+		var elseOut map[string]bool
+		if s.Else != nil {
+			elseOut = c.stmt(s.Else, copySet(held))
+		} else {
+			elseOut = held
+		}
+		return mergeBranches(held,
+			branch{out: bodyOut, terminates: terminates(s.Body.List)},
+			branch{out: elseOut, terminates: s.Else != nil && stmtTerminates(s.Else)})
+	case *ast.BlockStmt:
+		return c.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		return c.stmts(s.Body.List, held)
+	case *ast.RangeStmt:
+		if t := c.info.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				c.flagIfHeld(s.Pos(), held, "range over channel")
+			}
+		}
+		c.scanExpr(s.X, held)
+		return c.stmts(s.Body.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, copySet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, copySet(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+type branch struct {
+	out        map[string]bool
+	terminates bool
+}
+
+// mergeBranches intersects the held sets of the branches that fall
+// through; if every branch terminates, the pre-branch state continues.
+func mergeBranches(pre map[string]bool, branches ...branch) map[string]bool {
+	var live []map[string]bool
+	for _, b := range branches {
+		if !b.terminates {
+			live = append(live, b.out)
+		}
+	}
+	if len(live) == 0 {
+		return pre
+	}
+	merged := copySet(live[0])
+	for key := range merged {
+		for _, other := range live[1:] {
+			if !other[key] {
+				delete(merged, key)
+				break
+			}
+		}
+	}
+	return merged
+}
+
+// terminates reports whether a statement list ends in a control transfer.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+// scanExpr flags receives and blocking calls inside an expression,
+// without descending into function literals (their bodies run later).
+func (c *mutexChecker) scanExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.stmts(n.Body.List, map[string]bool{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.flagIfHeld(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if c.callBlocks(n) {
+				c.flagIfHeld(n.Pos(), held, "blocking call "+types.ExprString(n.Fun))
+			}
+		}
+		return true
+	})
+}
+
+func (c *mutexChecker) flagIfHeld(pos token.Pos, held map[string]bool, what string) {
+	if len(held) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for key := range held {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys) // one deterministic report per site is enough
+	c.pass.Reportf(pos, "%s while %s is locked; release the mutex before blocking", what, keys[0])
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Command lintfix is a fixture: main packages may panic, so nothing in
+// this file is flagged.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) > 99 {
+		panic("mains may panic")
+	}
+}

@@ -1,0 +1,24 @@
+// Package errfix is a fixture for the unchecked-error analyzer.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+func fail() error { return errors.New("nope") }
+
+// Bad drops the error from a module-local call.
+func Bad() {
+	fail() // want unchecked-error
+}
+
+// Explicit discards the error deliberately, which is allowed.
+func Explicit() {
+	_ = fail()
+}
+
+// Stdlib calls are out of scope for this analyzer.
+func Stdlib() {
+	fmt.Println("stdlib errors are go vet's problem")
+}

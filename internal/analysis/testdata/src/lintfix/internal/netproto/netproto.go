@@ -1,0 +1,10 @@
+// Package netproto is a fixture: a real-network package exempt from the
+// determinism rule, so wall-clock use here is legitimate.
+package netproto
+
+import "time"
+
+// Uptime reads the wall clock; exempt packages may.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,21 @@
+// Package panicfix is a fixture for the panic-in-library analyzer.
+package panicfix
+
+import "errors"
+
+// Bad panics on bad input instead of returning an error.
+func Bad(x int) error {
+	if x < 0 {
+		panic("negative input") // want panic-in-library
+	}
+	return nil
+}
+
+// Invariant documents an unreachable condition with a suppression.
+func Invariant(x int) error {
+	if x < 0 {
+		// lint:allow panic-in-library fixture: documented invariant
+		panic("negative input")
+	}
+	return errors.New("always fails")
+}

@@ -1,0 +1,21 @@
+// Package simfix is a fixture: an internal "simulation" package that
+// breaks the determinism rule in every supported way.
+package simfix
+
+import (
+	"math/rand" // want determinism
+	"time"
+)
+
+// Tick mixes wall-clock time and global randomness into what is supposed
+// to be a reproducible computation.
+func Tick() float64 {
+	start := time.Now()    // want determinism
+	d := time.Since(start) // want determinism
+	return rand.Float64() + d.Seconds()
+}
+
+// Pure is the negative case: arithmetic only, nothing flagged.
+func Pure(x float64) float64 {
+	return x * 2
+}

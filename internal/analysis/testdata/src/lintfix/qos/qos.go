@@ -1,0 +1,36 @@
+// Package qos is a fixture for the float-eq and keyed-literals analyzers.
+// Its package basename deliberately matches the real repo's qos package so
+// that Param is a keyed-literal target.
+package qos
+
+// Param is a QoS parameter range, mirroring the real repo's shape.
+type Param struct {
+	Name   string
+	Lo, Hi float64
+}
+
+// Equal compares floats with ==, the classic mistake.
+func Equal(a, b float64) bool {
+	return a == b // want float-eq
+}
+
+// Unset uses the exact-zero sentinel idiom, which is allowed.
+func Unset(w float64) bool {
+	return w == 0
+}
+
+// Degenerate is exempted with a justified suppression.
+func Degenerate(p Param) bool {
+	// lint:allow float-eq fixture: lo and hi share bits by construction
+	return p.Lo == p.Hi
+}
+
+// Make builds a Param positionally, which the analyzer flags.
+func Make(name string) Param {
+	return Param{name, 0, 1} // want keyed-literals
+}
+
+// MakeKeyed is the negative case: fully keyed literal.
+func MakeKeyed(name string) Param {
+	return Param{Name: name, Lo: 0, Hi: 1}
+}

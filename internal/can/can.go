@@ -125,11 +125,13 @@ func (z *Zone) dist(p Point) float64 {
 // less orders zones lexicographically by lower corner, then upper.
 func (z *Zone) less(o *Zone) bool {
 	for i := range z.lo {
+		// lint:allow float-eq zone corners are exact binary fractions (splits halve intervals); ordering must be exact
 		if z.lo[i] != o.lo[i] {
 			return z.lo[i] < o.lo[i]
 		}
 	}
 	for i := range z.hi {
+		// lint:allow float-eq zone corners are exact binary fractions (splits halve intervals); ordering must be exact
 		if z.hi[i] != o.hi[i] {
 			return z.hi[i] < o.hi[i]
 		}
@@ -140,10 +142,12 @@ func (z *Zone) less(o *Zone) bool {
 // touch reports whether the intervals [aLo,aHi) and [bLo,bHi) abut on the
 // unit circle.
 func touch(aLo, aHi, bLo, bHi float64) bool {
+	// lint:allow float-eq interval endpoints are exact binary fractions; abutment is exact by construction
 	if aHi == bLo || bHi == aLo {
 		return true
 	}
 	// Wraparound: 1.0 is identified with 0.0.
+	// lint:allow float-eq interval endpoints are exact binary fractions; abutment is exact by construction
 	return (aHi == 1 && bLo == 0) || (bHi == 1 && aLo == 0)
 }
 
@@ -412,6 +416,7 @@ func (s *Space) removeNode(n *Node, keepItems bool) error {
 				continue
 			}
 			if best == nil || nb.Volume() < best.Volume() ||
+				// lint:allow float-eq deterministic tie-break; volumes of equal zones are bit-identical products of halves
 				(nb.Volume() == best.Volume() && nb.less(best)) {
 				best = nb
 			}

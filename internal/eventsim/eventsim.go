@@ -42,6 +42,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	// lint:allow float-eq heap ordering needs the exact stored timestamps; a tolerance would break transitivity
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
@@ -92,6 +93,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Now) panics: it would silently reorder causality.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
+		// lint:allow panic-in-library scheduling into the past would silently reorder causality; no caller can recover meaningfully
 		panic("eventsim: scheduling event in the past")
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn}

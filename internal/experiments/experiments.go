@@ -517,6 +517,7 @@ func WriteSeries(w io.Writer, set *SeriesSet) {
 		for _, alg := range set.Algorithms {
 			v := math.NaN()
 			for _, p := range set.Series[alg] {
+				// lint:allow float-eq membership test against timestamps collected verbatim from these same series
 				if p.Time == t {
 					v = p.Value
 					break

@@ -8,6 +8,54 @@ import (
 	"repro/internal/sim"
 )
 
+// skipIfShort skips the multi-second statistical replays under -short so
+// `go test -race -short ./...` stays fast; TestFig5SmokeShort keeps
+// end-to-end (and race) coverage of the harness in short mode.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("statistical replay; run without -short")
+	}
+}
+
+// TestFig5SmokeShort is the -short stand-in for the Tiny suite: one Fig5
+// point at toy scale, fanned out across workers so the race detector still
+// sees the concurrent experiment harness.
+func TestFig5SmokeShort(t *testing.T) {
+	s := Scale{
+		Seed:         1,
+		Peers:        120,
+		Fig5Rates:    []float64{15},
+		Fig5Duration: 4,
+		Fig6Rate:     10,
+		Fig6Duration: 4,
+		SampleWindow: 2,
+		Fig7Churn:    []float64{0},
+		Fig7Rate:     10,
+		Fig7Duration: 4,
+		Fig8Churn:    10,
+		Fig8Rate:     10,
+		Fig8Duration: 4,
+		Workers:      8,
+	}
+	c, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 1 {
+		t.Fatalf("points = %d", len(c.Points))
+	}
+	for _, alg := range sim.Algorithms {
+		v := c.Points[0].Psi[alg]
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("ψ(%v) = %v", alg, v)
+		}
+		if c.Points[0].Results[alg] == nil {
+			t.Fatalf("missing result for %v", alg)
+		}
+	}
+}
+
 // tinyScale keeps the integration tests fast while still running every
 // subsystem end to end.
 func tinyScale(seed uint64) Scale {
@@ -29,6 +77,7 @@ func tinyScale(seed uint64) Scale {
 }
 
 func TestFig5ShapeTiny(t *testing.T) {
+	skipIfShort(t)
 	c, err := Fig5(tinyScale(1))
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +103,7 @@ func TestFig5ShapeTiny(t *testing.T) {
 }
 
 func TestFig6SeriesTiny(t *testing.T) {
+	skipIfShort(t)
 	set, err := Fig6(tinyScale(2))
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +119,7 @@ func TestFig6SeriesTiny(t *testing.T) {
 }
 
 func TestFig7ChurnHurtsTiny(t *testing.T) {
+	skipIfShort(t)
 	c, err := Fig7(tinyScale(3))
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +135,7 @@ func TestFig7ChurnHurtsTiny(t *testing.T) {
 }
 
 func TestFig8Tiny(t *testing.T) {
+	skipIfShort(t)
 	set, err := Fig8(tinyScale(4))
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +146,7 @@ func TestFig8Tiny(t *testing.T) {
 }
 
 func TestAblationTiersTiny(t *testing.T) {
+	skipIfShort(t)
 	s := tinyScale(5)
 	s.Fig5Rates = []float64{30}
 	c, err := AblationTiers(s)
@@ -114,6 +167,7 @@ func TestAblationTiersTiny(t *testing.T) {
 }
 
 func TestAblationUptimeTiny(t *testing.T) {
+	skipIfShort(t)
 	s := tinyScale(6)
 	s.Fig7Churn = []float64{25}
 	c, err := AblationUptime(s)
@@ -126,6 +180,7 @@ func TestAblationUptimeTiny(t *testing.T) {
 }
 
 func TestAblationProbeBudgetTiny(t *testing.T) {
+	skipIfShort(t)
 	c, err := AblationProbeBudget(tinyScale(7), []int{1, 50})
 	if err != nil {
 		t.Fatal(err)
@@ -140,6 +195,7 @@ func TestAblationProbeBudgetTiny(t *testing.T) {
 }
 
 func TestAblationRecoveryTiny(t *testing.T) {
+	skipIfShort(t)
 	s := tinyScale(8)
 	s.Fig7Churn = []float64{25}
 	c, err := AblationRecovery(s)
@@ -155,6 +211,7 @@ func TestAblationRecoveryTiny(t *testing.T) {
 }
 
 func TestWriteCurve(t *testing.T) {
+	skipIfShort(t)
 	c, err := Fig5(tinyScale(9))
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +231,7 @@ func TestWriteCurve(t *testing.T) {
 }
 
 func TestWriteSeries(t *testing.T) {
+	skipIfShort(t)
 	set, err := Fig8(tinyScale(10))
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +264,7 @@ func TestScalesSane(t *testing.T) {
 }
 
 func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	skipIfShort(t)
 	// Parallelism must not leak into results: the same scale with 1 worker
 	// and N workers must agree bit for bit.
 	s1 := tinyScale(11)
@@ -230,6 +289,7 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRepeatsAggregateMeanStd(t *testing.T) {
+	skipIfShort(t)
 	s := tinyScale(30)
 	s.Fig5Rates = []float64{20}
 	s.Repeats = 3
@@ -268,6 +328,7 @@ func TestRepeatsAggregateMeanStd(t *testing.T) {
 }
 
 func TestScalabilityTiny(t *testing.T) {
+	skipIfShort(t)
 	s := tinyScale(31)
 	c, err := Scalability(s, []int{200, 400})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 )
 
 func TestCurveChartAndCSV(t *testing.T) {
+	skipIfShort(t)
 	c, err := Fig5(tinyScale(20))
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +55,7 @@ func TestCurveChartAndCSV(t *testing.T) {
 }
 
 func TestSeriesChartAndCSV(t *testing.T) {
+	skipIfShort(t)
 	set, err := Fig8(tinyScale(21))
 	if err != nil {
 		t.Fatal(err)

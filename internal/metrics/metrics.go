@@ -56,11 +56,12 @@ type Sampler struct {
 }
 
 // NewSampler returns a sampler with the given window length in minutes.
-func NewSampler(window float64) *Sampler {
+// Non-positive windows are rejected.
+func NewSampler(window float64) (*Sampler, error) {
 	if window <= 0 {
-		panic("metrics: non-positive sampling window")
+		return nil, fmt.Errorf("metrics: non-positive sampling window %g", window)
 	}
-	return &Sampler{window: window, buckets: make(map[int]*Ratio)}
+	return &Sampler{window: window, buckets: make(map[int]*Ratio)}, nil
 }
 
 // Record attributes one outcome to the window containing issueTime.

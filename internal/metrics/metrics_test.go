@@ -29,7 +29,10 @@ func TestRatio(t *testing.T) {
 }
 
 func TestSamplerWindows(t *testing.T) {
-	s := NewSampler(2)
+	s, err := NewSampler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Record(0.5, true)
 	s.Record(1.9, false)
 	s.Record(2.1, true)
@@ -52,13 +55,13 @@ func TestSamplerWindows(t *testing.T) {
 	}
 }
 
-func TestSamplerPanicsOnBadWindow(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero window must panic")
-		}
-	}()
-	NewSampler(0)
+func TestSamplerRejectsBadWindow(t *testing.T) {
+	if _, err := NewSampler(0); err == nil {
+		t.Fatal("zero window must be rejected")
+	}
+	if _, err := NewSampler(-1); err == nil {
+		t.Fatal("negative window must be rejected")
+	}
 }
 
 func TestSummarize(t *testing.T) {
@@ -87,7 +90,10 @@ func TestPropertySamplerConsistent(t *testing.T) {
 		T  uint8
 		OK bool
 	}) bool {
-		s := NewSampler(2)
+		s, err := NewSampler(2)
+		if err != nil {
+			return false
+		}
 		for _, e := range events {
 			s.Record(float64(e.T), e.OK)
 		}

@@ -153,7 +153,9 @@ func (p *Peer) Uptime() time.Duration { return time.Since(p.start) }
 // monitors recover them if enabled.
 func (p *Peer) Leave() error {
 	for _, m := range p.Members() {
-		rpc(m, request{Type: msgLeave, Addr: p.addr}, p.cfg.RPCTimeout)
+		// Best effort: unreachable members age the departed peer out on
+		// their own.
+		_, _ = rpc(m, request{Type: msgLeave, Addr: p.addr}, p.cfg.RPCTimeout)
 	}
 	return p.Close()
 }
@@ -194,7 +196,7 @@ func (p *Peer) Join(bootstrap string) error {
 		if m == bootstrap {
 			continue
 		}
-		rpc(m, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
+		_, _ = rpc(m, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
 	}
 	return nil
 }
@@ -596,7 +598,9 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		}, p.cfg.RPCTimeout)
 		if err != nil {
 			for _, h := range reserved {
-				rpc(h, request{Type: msgRelease, SessionID: sid}, p.cfg.RPCTimeout)
+				// Best-effort rollback: an unreachable host's reservation
+				// expires with the session duration anyway.
+				_, _ = rpc(h, request{Type: msgRelease, SessionID: sid}, p.cfg.RPCTimeout)
 			}
 			return nil, fmt.Errorf("netproto: admission failed at %s: %v", host, err)
 		}
@@ -735,6 +739,8 @@ func (p *Peer) failInitiated(sess *initiated) {
 	hosts := append([]string(nil), sess.hosts...)
 	p.mu.Unlock()
 	for _, h := range hosts {
-		rpc(h, request{Type: msgRelease, SessionID: sess.sid}, p.cfg.RPCTimeout)
+		// Best effort: a host that cannot be reached is the one that
+		// failed; its reservation expires on its own.
+		_, _ = rpc(h, request{Type: msgRelease, SessionID: sess.sid}, p.cfg.RPCTimeout)
 	}
 }

@@ -38,6 +38,7 @@ func Sym(name, value string) Param { return Param{Name: name, Sym: value} }
 // Range returns a numeric range parameter [lo, hi].
 func Range(name string, lo, hi float64) Param {
 	if hi < lo {
+		// lint:allow panic-in-library constructor contract for literals; input parsers (spec, netproto) validate bounds first
 		panic(fmt.Sprintf("qos: range %q has hi %v < lo %v", name, hi, lo))
 	}
 	return Param{Name: name, Lo: lo, Hi: hi}
@@ -61,6 +62,7 @@ func (p Param) String() string {
 	if p.Symbolic() {
 		return fmt.Sprintf("%s=%s", p.Name, p.Sym)
 	}
+	// lint:allow float-eq a degenerate range stores Lo and Hi as the same bits by construction (see Point)
 	if p.Lo == p.Hi {
 		return fmt.Sprintf("%s=%g", p.Name, p.Lo)
 	}
@@ -92,6 +94,7 @@ func NewVector(params ...Param) (Vector, error) {
 func MustVector(params ...Param) Vector {
 	v, err := NewVector(params...)
 	if err != nil {
+		// lint:allow panic-in-library documented Must-variant contract for literals in tests and catalog generation
 		panic(err)
 	}
 	return v

@@ -29,11 +29,12 @@ type BandwidthLedger struct {
 }
 
 // NewBandwidthLedger returns a ledger over the given capacity function.
-func NewBandwidthLedger(capacity func(a, b int) float64) *BandwidthLedger {
+// A nil capacity function is rejected.
+func NewBandwidthLedger(capacity func(a, b int) float64) (*BandwidthLedger, error) {
 	if capacity == nil {
-		panic("resource: nil bandwidth capacity function")
+		return nil, fmt.Errorf("resource: nil bandwidth capacity function")
 	}
-	return &BandwidthLedger{capacity: capacity, used: make(map[PairKey]float64)}
+	return &BandwidthLedger{capacity: capacity, used: make(map[PairKey]float64)}, nil
 }
 
 // Capacity returns the total bandwidth of the pair (a, b) in kbps.
@@ -62,6 +63,7 @@ func (l *BandwidthLedger) Release(a, b int, kbps float64) {
 	k := Pair(a, b)
 	u := l.used[k] - kbps
 	if u < -1e-6 {
+		// lint:allow panic-in-library over-release means corrupted session accounting and must not be silently absorbed
 		panic(fmt.Sprintf("resource: bandwidth release %v kbps on %v exceeds reservations", kbps, k))
 	}
 	if u <= 1e-9 {

@@ -19,8 +19,18 @@ func constCap(kbps float64) func(a, b int) float64 {
 	return func(a, b int) float64 { return kbps }
 }
 
+// mustLedger builds a ledger for tests where construction cannot fail.
+func mustLedger(t *testing.T, capacity func(a, b int) float64) *BandwidthLedger {
+	t.Helper()
+	l, err := NewBandwidthLedger(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func TestBandwidthReserveRelease(t *testing.T) {
-	l := NewBandwidthLedger(constCap(1000))
+	l := mustLedger(t, constCap(1000))
 	if !l.Reserve(1, 2, 600) {
 		t.Fatal("reservation within capacity rejected")
 	}
@@ -40,7 +50,7 @@ func TestBandwidthReserveRelease(t *testing.T) {
 }
 
 func TestBandwidthPairsIndependent(t *testing.T) {
-	l := NewBandwidthLedger(constCap(100))
+	l := mustLedger(t, constCap(100))
 	if !l.Reserve(1, 2, 100) || !l.Reserve(1, 3, 100) {
 		t.Fatal("distinct pairs must not share capacity")
 	}
@@ -50,7 +60,7 @@ func TestBandwidthPairsIndependent(t *testing.T) {
 }
 
 func TestBandwidthSparseCleanup(t *testing.T) {
-	l := NewBandwidthLedger(constCap(100))
+	l := mustLedger(t, constCap(100))
 	l.Reserve(1, 2, 40)
 	l.Release(1, 2, 40)
 	if l.ActivePairs() != 0 {
@@ -59,14 +69,14 @@ func TestBandwidthSparseCleanup(t *testing.T) {
 }
 
 func TestBandwidthNegativeRejected(t *testing.T) {
-	l := NewBandwidthLedger(constCap(100))
+	l := mustLedger(t, constCap(100))
 	if l.Reserve(1, 2, -5) {
 		t.Fatal("negative reservation admitted")
 	}
 }
 
 func TestBandwidthOverReleasePanics(t *testing.T) {
-	l := NewBandwidthLedger(constCap(100))
+	l := mustLedger(t, constCap(100))
 	l.Reserve(1, 2, 10)
 	defer func() {
 		if recover() == nil {
@@ -76,19 +86,19 @@ func TestBandwidthOverReleasePanics(t *testing.T) {
 	l.Release(1, 2, 20)
 }
 
-func TestNilCapacityPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nil capacity function should panic")
-		}
-	}()
-	NewBandwidthLedger(nil)
+func TestNilCapacityRejected(t *testing.T) {
+	if _, err := NewBandwidthLedger(nil); err == nil {
+		t.Fatal("nil capacity function must be rejected")
+	}
 }
 
 // Property: reserve/release conservation per pair.
 func TestPropertyBandwidthConservation(t *testing.T) {
 	check := func(amounts []uint8) bool {
-		l := NewBandwidthLedger(constCap(10000))
+		l, err := NewBandwidthLedger(constCap(10000))
+		if err != nil {
+			return false
+		}
 		var admitted []float64
 		for _, a := range amounts {
 			amt := float64(a)

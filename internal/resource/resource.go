@@ -111,6 +111,7 @@ func (v Vector) String() string {
 
 func (v Vector) mustMatch(o Vector) {
 	if len(v) != len(o) {
+		// lint:allow panic-in-library dimension mismatch is a programming error, never a data condition (see Add)
 		panic(fmt.Sprintf("resource: dimension mismatch %d vs %d", len(v), len(o)))
 	}
 }
@@ -168,6 +169,7 @@ func (l *Ledger) Release(req Vector) {
 	for i := range req {
 		l.used[i] -= req[i]
 		if l.used[i] < -1e-9 {
+			// lint:allow panic-in-library over-release means corrupted session accounting and must not be silently absorbed
 			panic(fmt.Sprintf("resource: release of %v exceeds reservations (used now %v)", req, l.used))
 		}
 		if l.used[i] < 0 {
@@ -176,6 +178,7 @@ func (l *Ledger) Release(req Vector) {
 	}
 	l.active--
 	if l.active < 0 {
+		// lint:allow panic-in-library negative reservation count means corrupted session accounting
 		panic("resource: more releases than reservations")
 	}
 }

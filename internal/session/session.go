@@ -146,6 +146,7 @@ func (m *Manager) Active() int { return len(m.sessions) }
 // current host. It requires the host to be alive.
 func (m *Manager) reserveComponent(s *Session, k int) bool {
 	if s.resHeld[k] {
+		// lint:allow panic-in-library double reservation means the manager's held-flag bookkeeping is corrupted
 		panic("session: double component reservation")
 	}
 	p, err := m.net.Peer(s.Peers[k])
@@ -173,6 +174,7 @@ func (m *Manager) releaseComponent(s *Session, k int) {
 
 func (m *Manager) reserveEdge(s *Session, k int) bool {
 	if s.edgeHeld[k] {
+		// lint:allow panic-in-library double reservation means the manager's held-flag bookkeeping is corrupted
 		panic("session: double edge reservation")
 	}
 	from, to, kbps := s.edge(k)

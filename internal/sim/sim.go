@@ -114,6 +114,7 @@ func (a Algorithm) Strategy() core.Strategy {
 	case HybridRandomSelect:
 		return core.Strategy{Compose: core.ComposeQCS, Select: core.SelectRandom, Retries: core.StrategyQSA.Retries}
 	default:
+		// lint:allow panic-in-library unreachable: the switch is exhaustive over the Algorithm enum
 		panic(fmt.Sprintf("sim: unknown algorithm %d", int(a)))
 	}
 }
@@ -192,6 +193,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.RequestRate < 0 || c.ChurnRate < 0 {
 		return fmt.Errorf("sim: negative rates")
+	}
+	if c.SampleWindow < 0 {
+		return fmt.Errorf("sim: negative sample window %g", c.SampleWindow)
 	}
 	if c.SampleWindow == 0 {
 		c.SampleWindow = 2
@@ -284,17 +288,20 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Compose.Validate(); err != nil {
 		return nil, err
 	}
+	sampler, err := metrics.NewSampler(cfg.SampleWindow)
+	if err != nil {
+		return nil, err
+	}
 	root := xrand.New(cfg.Seed)
 	s := &Simulator{
 		cfg:         cfg,
 		engine:      eventsim.New(),
-		sampler:     metrics.NewSampler(cfg.SampleWindow),
+		sampler:     sampler,
 		rngWorkload: root.SplitLabeled("workload"),
 		rngChurn:    root.SplitLabeled("churn"),
 		rngProvider: root.SplitLabeled("providers"),
 		provides:    make(map[topology.PeerID][]*service.Instance),
 	}
-	var err error
 	if s.net, err = topology.New(cfg.Topology); err != nil {
 		return nil, err
 	}

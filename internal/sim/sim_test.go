@@ -8,6 +8,16 @@ import (
 	"repro/internal/trace"
 )
 
+// skipIfShort skips the multi-second simulation replays under -short so
+// `go test -race -short ./...` stays fast; the sub-second tests below keep
+// a full Run() in short-mode coverage.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation replay; run without -short")
+	}
+}
+
 // small returns a fast configuration that still exercises every subsystem.
 func small(seed uint64, alg Algorithm) Config {
 	cfg := DefaultConfig(seed, alg, 600)
@@ -46,6 +56,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	skipIfShort(t)
 	a, err := Run(small(11, QSA))
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +92,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestStatsConsistency(t *testing.T) {
+	skipIfShort(t)
 	for _, alg := range Algorithms {
 		res, err := Run(small(13, alg))
 		if err != nil {
@@ -108,6 +120,7 @@ func TestStatsConsistency(t *testing.T) {
 }
 
 func TestNoChurnMeansNoDepartureFailures(t *testing.T) {
+	skipIfShort(t)
 	res, err := Run(small(14, QSA))
 	if err != nil {
 		t.Fatal(err)
@@ -121,6 +134,7 @@ func TestNoChurnMeansNoDepartureFailures(t *testing.T) {
 }
 
 func TestOrderingQSARandomFixed(t *testing.T) {
+	skipIfShort(t)
 	// The headline qualitative result (Fig. 5): ψ(QSA) ≥ ψ(random) ≫
 	// ψ(fixed) under load. Scaled down but with the rate high enough to
 	// load the grid.
@@ -147,6 +161,7 @@ func TestOrderingQSARandomFixed(t *testing.T) {
 }
 
 func TestChurnDegradesSuccess(t *testing.T) {
+	skipIfShort(t)
 	static := small(16, QSA)
 	churny := small(16, QSA)
 	churny.ChurnRate = 30 // 5%/min of 600 peers — heavy
@@ -167,6 +182,7 @@ func TestChurnDegradesSuccess(t *testing.T) {
 }
 
 func TestChurnKeepsPopulationStationary(t *testing.T) {
+	skipIfShort(t)
 	cfg := small(17, QSA)
 	cfg.ChurnRate = 40
 	res, err := Run(cfg)
@@ -179,6 +195,7 @@ func TestChurnKeepsPopulationStationary(t *testing.T) {
 }
 
 func TestRecoveryReducesFailures(t *testing.T) {
+	skipIfShort(t)
 	base := small(18, QSA)
 	base.ChurnRate = 30
 	rec := base
@@ -229,6 +246,7 @@ func TestSeriesCoversWorkloadWindow(t *testing.T) {
 }
 
 func TestProbingOnlyForQSA(t *testing.T) {
+	skipIfShort(t)
 	q, err := Run(small(20, QSA))
 	if err != nil {
 		t.Fatal(err)
@@ -249,6 +267,7 @@ func TestProbingOnlyForQSA(t *testing.T) {
 }
 
 func TestChordLookupsHappen(t *testing.T) {
+	skipIfShort(t)
 	res, err := Run(small(21, QSA))
 	if err != nil {
 		t.Fatal(err)
@@ -262,6 +281,7 @@ func TestChordLookupsHappen(t *testing.T) {
 }
 
 func TestCANSubstrate(t *testing.T) {
+	skipIfShort(t)
 	// The whole closed loop also runs over the CAN lookup service, with a
 	// comparable success ratio (discovery is substrate-independent).
 	chordCfg := small(23, QSA)
@@ -295,6 +315,7 @@ func TestUnknownLookupSubstrate(t *testing.T) {
 }
 
 func TestTraceRecordAndReplay(t *testing.T) {
+	skipIfShort(t)
 	// Record a run's workload, then replay it: the replayed run must issue
 	// exactly the recorded requests and (static grid, same seed) reach the
 	// same outcome.
@@ -337,6 +358,7 @@ func TestTraceRecordAndReplay(t *testing.T) {
 }
 
 func TestReplayRoundTripsThroughEncoding(t *testing.T) {
+	skipIfShort(t)
 	var recorded []trace.Entry
 	cfg := small(26, QSA)
 	cfg.Duration = 5
@@ -362,6 +384,7 @@ func TestReplayRoundTripsThroughEncoding(t *testing.T) {
 }
 
 func TestZeroRequestRate(t *testing.T) {
+	skipIfShort(t)
 	cfg := small(22, QSA)
 	cfg.RequestRate = 0
 	res, err := Run(cfg)

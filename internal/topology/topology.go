@@ -147,9 +147,13 @@ func New(cfg Config) (*Network, error) {
 		rng:      xrand.New(cfg.Seed).SplitLabeled("topology"),
 		aliveIdx: make(map[PeerID]int, cfg.N),
 	}
-	n.bw = resource.NewBandwidthLedger(func(a, b int) float64 {
+	bw, err := resource.NewBandwidthLedger(func(a, b int) float64 {
 		return n.pairClass(a, b, 0, cfg.BandwidthClasses)
 	})
+	if err != nil {
+		return nil, err
+	}
+	n.bw = bw
 	for i := 0; i < cfg.N; i++ {
 		p, err := n.Join(0)
 		if err != nil {
@@ -252,7 +256,8 @@ func (n *Network) DepartRandom(now float64) *Peer {
 		}
 	}
 	if err := n.Depart(victim.ID, now); err != nil {
-		panic(err) // invariant: victim was in the alive set
+		// lint:allow panic-in-library unreachable: the victim was just drawn from the alive set
+		panic(err)
 	}
 	return victim
 }
@@ -269,6 +274,7 @@ func (n *Network) Peer(id PeerID) (*Peer, error) {
 func (n *Network) MustPeer(id PeerID) *Peer {
 	p, err := n.Peer(id)
 	if err != nil {
+		// lint:allow panic-in-library documented Must-variant contract; callers hold network-issued IDs
 		panic(err)
 	}
 	return p

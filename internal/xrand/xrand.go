@@ -66,6 +66,7 @@ func (s *Source) Int63() int64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
+		// lint:allow panic-in-library mirrors the documented math/rand Intn contract
 		panic("xrand: Intn with non-positive n")
 	}
 	// Lemire's nearly-divisionless bounded generation is overkill here;
@@ -78,6 +79,7 @@ func (s *Source) Intn(n int) int {
 // hi < lo.
 func (s *Source) IntRange(lo, hi int) int {
 	if hi < lo {
+		// lint:allow panic-in-library mirrors the documented math/rand-style bounds contract
 		panic("xrand: IntRange with hi < lo")
 	}
 	return lo + s.Intn(hi-lo+1)
@@ -102,6 +104,7 @@ func (s *Source) Bool(p float64) bool {
 // (mean 1/rate). It panics if rate <= 0.
 func (s *Source) Exp(rate float64) float64 {
 	if rate <= 0 {
+		// lint:allow panic-in-library mirrors the documented math/rand-style parameter contract
 		panic("xrand: Exp with non-positive rate")
 	}
 	u := s.Float64()

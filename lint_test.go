@@ -1,0 +1,20 @@
+package qsa
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLintClean runs the full qsalint analyzer suite over this module and
+// fails on any diagnostic, so `go test ./...` is also the lint gate. The
+// same check is available standalone as `go run ./cmd/qsalint ./...`.
+func TestLintClean(t *testing.T) {
+	pkgs, err := analysis.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range analysis.Run(pkgs, analysis.All()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -257,6 +257,7 @@ func (g *Grid) Now() float64 { return g.engine.Now() }
 // firing session completions and other scheduled work.
 func (g *Grid) Advance(minutes float64) {
 	if minutes < 0 {
+		// lint:allow panic-in-library the virtual clock cannot run backwards; negative Advance is caller error, not a data condition
 		panic("qsa: negative Advance")
 	}
 	g.engine.RunUntil(g.engine.Now() + minutes)
