@@ -8,6 +8,9 @@
 #             mutex-across-block, keyed-literals, panic-in-library,
 #             unchecked-error) — see README "Static analysis"
 #   test      the short suite, then again under the race detector
+#   chaos     the netproto fault-injection suite, explicitly under -race
+#   coverage  internal/netproto statement coverage must not drop below
+#             the pre-fault-plane baseline (91.0%)
 #
 # Full statistical replays (minutes): go test ./...
 set -eu
@@ -26,5 +29,21 @@ go test -short ./...
 
 echo '>> go test -race -short ./...'
 go test -race -short ./...
+
+echo '>> chaos suite under -race'
+go test -race -short -run 'TestChaos' ./internal/netproto/
+
+echo '>> netproto coverage gate'
+cover_out=$(mktemp /tmp/qsa_netproto_cover.XXXXXX)
+trap 'rm -f "$cover_out"' EXIT
+go test -short -coverprofile="$cover_out" ./internal/netproto/ > /dev/null
+cover=$(go tool cover -func="$cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+awk -v c="$cover" 'BEGIN {
+	if (c + 0 < 91.0) {
+		print "netproto coverage " c "% dropped below the 91.0% baseline"
+		exit 1
+	}
+	print "netproto coverage " c "% (baseline 91.0%)"
+}'
 
 echo 'ci: ok'

@@ -7,10 +7,13 @@ import (
 )
 
 // determinismExempt lists internal packages allowed to touch the wall
-// clock: the network prototype talks to a real network on real time, and
-// this analysis package is not part of any simulation path.
+// clock: the network prototype talks to a real network on real time, the
+// fault plane injects real latency into real TCP dials (its *decisions*
+// are still pure functions of the seed — see package faults), and this
+// analysis package is not part of any simulation path.
 var determinismExempt = map[string]bool{
 	"netproto": true,
+	"faults":   true,
 	"analysis": true,
 }
 

@@ -1,0 +1,285 @@
+// Package faults is a deterministic fault plane for the netproto
+// prototype: a netproto.Transport that injects per-link drops, added
+// latency, asymmetric partitions and whole-peer crash/restart into every
+// dial, without touching the real listeners underneath.
+//
+// The paper's dynamic peer selection exists because peers in a P2P grid
+// are unreliable ("peers can join and leave at any time", §2); netproto
+// implements the §6-style recovery paths, and this package is how those
+// paths get exercised and measured under controlled degradation instead
+// of by killing real processes.
+//
+// Determinism contract: the seeded decision for a dial is a pure
+// function of (seed, source node, destination node, per-link attempt
+// number). Goroutine scheduling may reorder which logical RPC performs
+// the n-th dial on a link, but the verdict sequence each link sees —
+// the fault transcript — replays bit-for-bit for a given seed. Crash,
+// Cut and DropNext are explicit script actions layered on top and take
+// precedence over the seeded stream.
+//
+// Links are identified by logical node names, not TCP addresses, so a
+// transcript is comparable across runs even though every run listens on
+// fresh ephemeral ports: create each peer's transport with Node(name),
+// then map the started peer's address back with Register(name, addr).
+package faults
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// Seed drives every probabilistic decision; the same seed replays
+	// the same per-link verdict sequence.
+	Seed uint64
+	// DropRate is the per-dial probability, in [0,1], that a link drops
+	// the connection attempt (the dial fails immediately).
+	DropRate float64
+	// Latency is added to every admitted dial.
+	Latency time.Duration
+	// LatencyJitter adds a further uniform [0, LatencyJitter) delay,
+	// deterministic per (link, attempt).
+	LatencyJitter time.Duration
+}
+
+// Validate rejects probabilities outside [0,1] and negative delays.
+func (c Config) Validate() error {
+	if c.DropRate < 0 || c.DropRate > 1 {
+		return fmt.Errorf("faults: DropRate %v outside [0,1]", c.DropRate)
+	}
+	if c.Latency < 0 || c.LatencyJitter < 0 {
+		return fmt.Errorf("faults: negative latency")
+	}
+	return nil
+}
+
+// Decision is the fault plane's verdict for one dial attempt.
+type Decision struct {
+	// Drop reports whether the dial fails.
+	Drop bool
+	// Reason is why: "" (admitted), "drop" (seeded), "scripted"
+	// (DropNext), "cut" (partition), "crashed" (either endpoint down).
+	Reason string
+	// Latency is the delay injected before the dial resolves.
+	Latency time.Duration
+}
+
+// Event is one fault-transcript entry: the decision taken for the
+// Attempt-th dial (1-based) on the Src→Dst link.
+type Event struct {
+	Src, Dst string
+	Attempt  uint64
+	Decision Decision
+}
+
+type link struct{ src, dst string }
+
+// DropError is the dial error returned for an injected fault.
+type DropError struct {
+	Src, Dst, Reason string
+}
+
+func (e *DropError) Error() string {
+	return fmt.Sprintf("faults: dial %s→%s failed (%s)", e.Src, e.Dst, e.Reason)
+}
+
+// Fabric is the shared fault plane: every peer's Transport routes its
+// dials through the one Fabric, which decides drop/latency per link and
+// records the transcript.
+type Fabric struct {
+	cfg   Config
+	inner netproto.Transport
+
+	mu       sync.Mutex
+	names    map[string]string // listen addr -> logical node name
+	crashed  map[string]bool
+	cut      map[link]bool
+	forced   map[link]int // remaining scripted drops
+	attempts map[link]uint64
+	trace    []Event
+}
+
+// New returns a Fabric dialing real TCP underneath.
+func New(cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{
+		cfg:      cfg,
+		inner:    netproto.TCP{},
+		names:    make(map[string]string),
+		crashed:  make(map[string]bool),
+		cut:      make(map[link]bool),
+		forced:   make(map[link]int),
+		attempts: make(map[link]uint64),
+	}, nil
+}
+
+// Node returns the Transport for the peer with the given logical name.
+// Wire it into netproto.Config.Transport before Start, then Register the
+// started peer's address so inbound links resolve to the name too.
+func (f *Fabric) Node(name string) netproto.Transport {
+	return &node{f: f, name: name}
+}
+
+// Register maps a peer's listen address to its logical node name.
+func (f *Fabric) Register(name, addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.names[addr] = name
+}
+
+// Crash takes a node off the network: every dial from or to it fails
+// until Restart. The peer process itself keeps running — this models a
+// transient network-level crash where listener state survives.
+func (f *Fabric) Crash(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed[name] = true
+}
+
+// Restart reconnects a crashed node.
+func (f *Fabric) Restart(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.crashed, name)
+}
+
+// Cut partitions the src→dst direction: those dials fail until Heal.
+// The reverse direction is unaffected (asymmetric partition).
+func (f *Fabric) Cut(src, dst string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cut[link{src, dst}] = true
+}
+
+// CutBoth partitions both directions between a and b.
+func (f *Fabric) CutBoth(a, b string) {
+	f.Cut(a, b)
+	f.Cut(b, a)
+}
+
+// Heal removes the src→dst partition.
+func (f *Fabric) Heal(src, dst string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cut, link{src, dst})
+}
+
+// HealAll clears every partition and restarts every crashed node.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cut = make(map[link]bool)
+	f.crashed = make(map[string]bool)
+}
+
+// DropNext force-drops the next n dials on the src→dst link, ahead of
+// the seeded stream. Use it to script exact failure points.
+func (f *Fabric) DropNext(src, dst string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.forced[link{src, dst}] += n
+}
+
+// Transcript returns a copy of every decision taken so far, in the
+// order the fabric admitted them.
+func (f *Fabric) Transcript() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Event(nil), f.trace...)
+}
+
+// Verdict reports the seeded decision for the n-th dial (1-based) on
+// the src→dst link: a pure function of (Seed, src, dst, n). Script
+// actions (Crash/Cut/DropNext) are not reflected — this is the
+// replayable probabilistic layer only.
+func (f *Fabric) Verdict(src, dst string, n uint64) Decision {
+	h := verdictHash(f.cfg.Seed, src, dst, n)
+	var d Decision
+	if f.cfg.DropRate > 0 && unit(h) < f.cfg.DropRate {
+		d.Drop = true
+		d.Reason = "drop"
+	}
+	d.Latency = f.cfg.Latency
+	if f.cfg.LatencyJitter > 0 {
+		d.Latency += time.Duration(unit(xrand.Mix64(h^jitterSalt)) * float64(f.cfg.LatencyJitter))
+	}
+	return d
+}
+
+// admit records and returns the decision for one dial.
+func (f *Fabric) admit(src, addr string) Decision {
+	f.mu.Lock()
+	dst, ok := f.names[addr]
+	if !ok {
+		dst = addr // unregistered destination: the address is the name
+	}
+	l := link{src, dst}
+	f.attempts[l]++
+	n := f.attempts[l]
+	var d Decision
+	switch {
+	case f.crashed[src] || f.crashed[dst]:
+		d = Decision{Drop: true, Reason: "crashed"}
+	case f.cut[l]:
+		d = Decision{Drop: true, Reason: "cut"}
+	case f.forced[l] > 0:
+		f.forced[l]--
+		d = Decision{Drop: true, Reason: "scripted"}
+	default:
+		d = f.Verdict(src, dst, n)
+	}
+	f.trace = append(f.trace, Event{Src: src, Dst: dst, Attempt: n, Decision: d})
+	f.mu.Unlock()
+	return d
+}
+
+// node is one peer's view of the fabric.
+type node struct {
+	f    *Fabric
+	name string
+}
+
+// Dial implements netproto.Transport: consult the fabric, sleep the
+// injected latency, then fail or dial through.
+func (t *node) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d := t.f.admit(t.name, addr)
+	if d.Latency > 0 {
+		time.Sleep(d.Latency)
+	}
+	if d.Drop {
+		f := t.f
+		f.mu.Lock()
+		dst, ok := f.names[addr]
+		f.mu.Unlock()
+		if !ok {
+			dst = addr
+		}
+		return nil, &DropError{Src: t.name, Dst: dst, Reason: d.Reason}
+	}
+	return t.f.inner.Dial(addr, timeout)
+}
+
+const jitterSalt = 0xA5A5A5A5A5A5A5A5
+
+// unit maps a 64-bit hash to [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// verdictHash mixes (seed, src, dst, n) into one 64-bit value. The
+// length-keyed string mixer keeps the link identity unambiguous and
+// asymmetric.
+func verdictHash(seed uint64, src, dst string, n uint64) uint64 {
+	h := xrand.Mix64(seed ^ 0x9E3779B97F4A7C15)
+	h = xrand.MixString(h, src)
+	h = xrand.MixString(h, dst)
+	return xrand.Mix64(h ^ n)
+}

@@ -1,0 +1,139 @@
+package netproto
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// seedRequests are real wire messages of every type — the corpus is what
+// actually crosses the TCP connections, captured by marshaling the same
+// structs the peers exchange.
+func seedRequests() [][]byte {
+	in := inst("source#0", "source", "RAW", "MPEG", 40, 30)
+	reqs := []request{
+		{Type: msgJoin, Addr: "127.0.0.1:9001"},
+		{Type: msgLeave, Addr: "127.0.0.1:9001"},
+		{Type: msgLookup, Service: "source"},
+		{Type: msgProbe},
+		{
+			Type:        msgSelect,
+			Instances:   []WireInstance{ToWire(in)},
+			Candidates:  map[string][]string{"source#0": {"127.0.0.1:9001", "127.0.0.1:9002"}},
+			Idx:         0,
+			Chain:       []string{"127.0.0.1:9002"},
+			UserAddr:    "127.0.0.1:9003",
+			DurationSec: 1.5,
+		},
+		{Type: msgReserve, SessionID: "127.0.0.1:9003/1", InstanceID: "source#0",
+			CPU: 40, Memory: 40, DurationSec: 1.5},
+		{Type: msgRelease, SessionID: "127.0.0.1:9003/1"},
+	}
+	var out [][]byte
+	for _, r := range reqs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzDecodeRequest checks the request envelope never panics on
+// arbitrary JSON and that everything accepted re-encodes and re-decodes
+// without loss, including the embedded wire instances (which must also
+// survive FromWire/ToWire when they validate).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, b := range seedRequests() {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"type":"select","idx":-1,"instances":[{"id":"x"}]}`))
+	f.Add([]byte(`{"type":"reserve","cpu":-1,"duration_sec":1e308}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		if json.Unmarshal(data, &req) != nil {
+			return
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request failed to marshal: %v", err)
+		}
+		var back request
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v\n%s", err, out)
+		}
+		if back.Type != req.Type || back.SessionID != req.SessionID ||
+			len(back.Instances) != len(req.Instances) ||
+			len(back.Candidates) != len(req.Candidates) ||
+			len(back.Chain) != len(req.Chain) {
+			t.Fatalf("round trip mangled the request: %+v vs %+v", req, back)
+		}
+		for _, w := range req.Instances {
+			in, err := FromWire(w) // must never panic
+			if err != nil {
+				continue
+			}
+			if got := ToWire(in); got.ID != w.ID || got.Service != w.Service {
+				t.Fatalf("wire instance round trip mangled %+v into %+v", w, got)
+			}
+		}
+	})
+}
+
+// seedResponses are real replies: membership, offers, probe results,
+// selection chains and errors.
+func seedResponses() [][]byte {
+	in := inst("player#0", "player", "MPEG", "SCREEN", 30, 20)
+	resps := []response{
+		{OK: true, Members: []string{"127.0.0.1:9001", "127.0.0.1:9002"}},
+		{OK: true, Offers: []offer{{Instance: ToWire(in), Provider: "127.0.0.1:9002"}}},
+		{OK: true, Avail: []float64{160, 120}, UptimeSec: 42.5},
+		{OK: true, Chain: []string{"127.0.0.1:9001", "127.0.0.1:9002"}},
+		{Err: "insufficient resources"},
+		{Err: "no selectable peer for player#0"},
+	}
+	var out [][]byte
+	for _, r := range resps {
+		b, err := json.Marshal(r)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzDecodeResponse mirrors FuzzDecodeRequest for the reply envelope.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, b := range seedResponses() {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"ok":true,"avail":[1e308,-1e308,0]}`))
+	f.Add([]byte(`{"ok":false,"err":"","offers":[{}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var resp response
+		if json.Unmarshal(data, &resp) != nil {
+			return
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("accepted response failed to marshal: %v", err)
+		}
+		var back response
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-encoded response failed to decode: %v\n%s", err, out)
+		}
+		if back.OK != resp.OK || back.Err != resp.Err ||
+			len(back.Members) != len(resp.Members) ||
+			len(back.Offers) != len(resp.Offers) ||
+			len(back.Avail) != len(resp.Avail) ||
+			len(back.Chain) != len(resp.Chain) {
+			t.Fatalf("round trip mangled the response: %+v vs %+v", resp, back)
+		}
+		for _, off := range resp.Offers {
+			if _, err := FromWire(off.Instance); err != nil {
+				continue // rejected offers are fine; panics are not
+			}
+		}
+	})
+}

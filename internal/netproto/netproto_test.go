@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -249,7 +250,7 @@ func TestManualRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rpc(plan.Peers[0], request{Type: msgRelease, SessionID: plan.SessionID}, time.Second); err != nil {
+	if _, err := rpc(TCP{}, plan.Peers[0], request{Type: msgRelease, SessionID: plan.SessionID}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if av := peers[1].Available(); av[0] != 100 {
@@ -365,6 +366,91 @@ func TestMonitorFailsWhenNoReplacement(t *testing.T) {
 func TestBadCapacityRejected(t *testing.T) {
 	if _, err := Start(Config{Listen: "127.0.0.1:0", CPU: -1}); err == nil {
 		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestConfigRejectsNegatives(t *testing.T) {
+	bad := []Config{
+		{CPU: -1},
+		{Memory: -1},
+		{RPCTimeout: -time.Second},
+		{ProbeCacheTTL: -time.Millisecond},
+		{MonitorInterval: -time.Minute},
+		{Retry: RetryPolicy{Attempts: -1}},
+		{Retry: RetryPolicy{BaseDelay: -time.Millisecond}},
+		{Retry: RetryPolicy{MaxDelay: -time.Millisecond}},
+	}
+	for i, cfg := range bad {
+		// fillDefaults only replaces zero values: negatives must survive
+		// it and be caught by Validate.
+		cfg.fillDefaults()
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: fillDefaults+Validate accepted %+v", i, bad[i])
+		}
+		cfg = bad[i]
+		cfg.Listen = "127.0.0.1:0"
+		if _, err := Start(cfg); err == nil {
+			t.Fatalf("case %d: Start accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero config invalid after fillDefaults: %v", err)
+	}
+	if cfg.Transport == nil {
+		t.Fatal("no default transport")
+	}
+	if cfg.Retry.Attempts != 3 || cfg.Retry.BaseDelay <= 0 || cfg.Retry.MaxDelay < cfg.Retry.BaseDelay {
+		t.Fatalf("unexpected retry defaults: %+v", cfg.Retry)
+	}
+}
+
+func TestRetryBackoffBoundedAndDeterministic(t *testing.T) {
+	pol := RetryPolicy{Attempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := pol.backoff("127.0.0.1:1", "127.0.0.1:2", attempt)
+		if d != pol.backoff("127.0.0.1:1", "127.0.0.1:2", attempt) {
+			t.Fatalf("attempt %d: backoff not deterministic", attempt)
+		}
+		if d < 0 || d >= pol.MaxDelay {
+			t.Fatalf("attempt %d: backoff %v outside [0, MaxDelay)", attempt, d)
+		}
+	}
+	// The jitter desynchronizes distinct link pairs.
+	if pol.backoff("a", "b", 2) == pol.backoff("c", "d", 2) {
+		t.Fatal("distinct links share the same jittered backoff")
+	}
+}
+
+func TestHandleSurfacesDecodeError(t *testing.T) {
+	peers := cluster(t, 1, 100)
+	resp, err := rpc(TCP{}, peers[0].Addr(), request{Type: "???"}, time.Second)
+	if err == nil || resp == nil || resp.Err == "" {
+		t.Fatalf("unknown message type: resp=%+v err=%v, want error response", resp, err)
+	}
+	// A syntactically broken request must come back as an error response,
+	// not a silent hangup.
+	conn, err := TCP{}.Dial(peers[0].Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var r response
+	if err := json.NewDecoder(conn).Decode(&r); err != nil {
+		t.Fatalf("no response to malformed request: %v", err)
+	}
+	if r.OK || !strings.Contains(r.Err, "bad request") {
+		t.Fatalf("response = %+v, want bad-request error", r)
 	}
 }
 

@@ -34,6 +34,13 @@ type Config struct {
 	// re-selected and re-reserved on a replacement provider. 0 disables
 	// monitoring.
 	MonitorInterval time.Duration
+	// Transport dials remote peers. Default TCP{}; tests inject the
+	// fault-injecting transport from internal/faults here.
+	Transport Transport
+	// Retry bounds retransmission of the idempotent RPCs (probe, lookup,
+	// join, leave, release). Reserve and select are never retried — see
+	// RetryPolicy.
+	Retry RetryPolicy
 }
 
 func (c *Config) fillDefaults() {
@@ -46,6 +53,36 @@ func (c *Config) fillDefaults() {
 	if c.ProbeCacheTTL == 0 {
 		c.ProbeCacheTTL = time.Second
 	}
+	if c.Transport == nil {
+		c.Transport = TCP{}
+	}
+	c.Retry.fillDefaults()
+}
+
+// Validate rejects impossible configurations. Zero values mean "use the
+// default" (fillDefaults); negatives are always errors — a negative
+// timeout would make every RPC deadline already expired, and a negative
+// interval or retry budget has no meaning.
+func (c Config) Validate() error {
+	if c.CPU < 0 || c.Memory < 0 {
+		return fmt.Errorf("netproto: negative capacity")
+	}
+	if c.RPCTimeout < 0 {
+		return fmt.Errorf("netproto: negative RPCTimeout %v", c.RPCTimeout)
+	}
+	if c.ProbeCacheTTL < 0 {
+		return fmt.Errorf("netproto: negative ProbeCacheTTL %v", c.ProbeCacheTTL)
+	}
+	if c.MonitorInterval < 0 {
+		return fmt.Errorf("netproto: negative MonitorInterval %v", c.MonitorInterval)
+	}
+	if c.Retry.Attempts < 0 {
+		return fmt.Errorf("netproto: negative retry attempts %d", c.Retry.Attempts)
+	}
+	if c.Retry.BaseDelay < 0 || c.Retry.MaxDelay < 0 {
+		return fmt.Errorf("netproto: negative retry backoff")
+	}
+	return nil
 }
 
 // probeResult is one cached measurement of a remote peer.
@@ -112,8 +149,8 @@ type Peer struct {
 // Start launches a peer listening on cfg.Listen.
 func Start(cfg Config) (*Peer, error) {
 	cfg.fillDefaults()
-	if cfg.CPU < 0 || cfg.Memory < 0 {
-		return nil, fmt.Errorf("netproto: negative capacity")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	ledger, err := resource.NewLedger(resource.Vec2(cfg.CPU, cfg.Memory))
 	if err != nil {
@@ -153,9 +190,9 @@ func (p *Peer) Uptime() time.Duration { return time.Since(p.start) }
 // monitors recover them if enabled.
 func (p *Peer) Leave() error {
 	for _, m := range p.Members() {
-		// Best effort: unreachable members age the departed peer out on
-		// their own.
-		_, _ = rpc(m, request{Type: msgLeave, Addr: p.addr}, p.cfg.RPCTimeout)
+		// Best effort (with retry — leave is idempotent): unreachable
+		// members age the departed peer out on their own.
+		_, _ = p.rpcRetry(m, request{Type: msgLeave, Addr: p.addr}, p.cfg.RPCTimeout)
 	}
 	return p.Close()
 }
@@ -178,7 +215,7 @@ func (p *Peer) Close() error {
 // Join connects the peer into an existing overlay through any bootstrap
 // member and announces it to everyone it learns about.
 func (p *Peer) Join(bootstrap string) error {
-	resp, err := rpc(bootstrap, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
+	resp, err := p.rpcRetry(bootstrap, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
 	if err != nil {
 		return err
 	}
@@ -196,7 +233,7 @@ func (p *Peer) Join(bootstrap string) error {
 		if m == bootstrap {
 			continue
 		}
-		_, _ = rpc(m, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
+		_, _ = p.rpcRetry(m, request{Type: msgJoin, Addr: p.addr}, p.cfg.RPCTimeout)
 	}
 	return nil
 }
@@ -278,14 +315,21 @@ func (p *Peer) serve() {
 func (p *Peer) handle(conn net.Conn) {
 	// Generous deadline: a select request recurses through the remaining
 	// hops before this handler can answer.
-	conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout * 16))
+	if err := conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout * 16)); err != nil {
+		// The connection is already dead; nothing can be sent on it.
+		return
+	}
+	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(conn)
 	var req request
 	if err := dec.Decode(&req); err != nil {
+		// Surface malformed requests to the caller instead of silently
+		// dropping the connection (best effort: the encode itself can
+		// fail if the peer hung up mid-request).
+		_ = enc.Encode(response{Err: fmt.Sprintf("bad request: %v", err)})
 		return
 	}
-	resp := p.dispatch(req)
-	json.NewEncoder(conn).Encode(resp)
+	_ = enc.Encode(p.dispatch(req))
 }
 
 func (p *Peer) dispatch(req request) response {
@@ -393,8 +437,11 @@ func (p *Peer) probe(addr string) probeResult {
 		return cached
 	}
 	p.mu.Unlock()
+	// Retried (idempotent): one dropped dial must not mark a live peer
+	// dead. The measured RTT then includes any backoff, which only makes
+	// a lossy link look worse — exactly what Φ's network term wants.
 	start := time.Now()
-	resp, err := rpc(addr, request{Type: msgProbe}, p.cfg.RPCTimeout)
+	resp, err := p.rpcRetry(addr, request{Type: msgProbe}, p.cfg.RPCTimeout)
 	res := probeResult{measured: time.Now()}
 	if err == nil {
 		res.alive = true
@@ -476,7 +523,10 @@ func (p *Peer) handleSelect(req request) response {
 	next := req
 	next.Idx--
 	next.Chain = chain
-	resp, err := rpc(chosen, next, p.cfg.RPCTimeout*time.Duration(req.Idx+1))
+	// Select is forwarded exactly once: a retry would re-run the whole
+	// downstream selection recursion (amplifying probe traffic), and a
+	// failed hop already fails the aggregation cleanly at the initiator.
+	resp, err := p.rpc(chosen, next, p.cfg.RPCTimeout*time.Duration(req.Idx+1))
 	if err != nil {
 		return response{Err: err.Error()}
 	}
@@ -509,7 +559,7 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 					results <- lookupResult{svc: si, offers: resp.Offers}
 					return
 				}
-				resp, err := rpc(m, request{Type: msgLookup, Service: string(svc)}, p.cfg.RPCTimeout)
+				resp, err := p.rpcRetry(m, request{Type: msgLookup, Service: string(svc)}, p.cfg.RPCTimeout)
 				if err == nil {
 					results <- lookupResult{svc: si, offers: resp.Offers}
 				}
@@ -588,7 +638,11 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	reserved := make([]string, 0, len(chain))
 	for i, host := range chain {
 		in := composed.Instances[i]
-		_, err := rpc(host, request{
+		// Reserve is NOT retried: it is not idempotent. A retry after a
+		// lost response would accumulate the session's demand twice on
+		// the host (handleReserve adds per session), silently
+		// double-booking capacity until the session expires.
+		_, err := p.rpc(host, request{
 			Type:        msgReserve,
 			SessionID:   sid,
 			InstanceID:  in.ID,
@@ -598,9 +652,10 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		}, p.cfg.RPCTimeout)
 		if err != nil {
 			for _, h := range reserved {
-				// Best-effort rollback: an unreachable host's reservation
-				// expires with the session duration anyway.
-				_, _ = rpc(h, request{Type: msgRelease, SessionID: sid}, p.cfg.RPCTimeout)
+				// Best-effort rollback (retried — release is idempotent):
+				// an unreachable host's reservation expires with the
+				// session duration anyway.
+				_, _ = p.rpcRetry(h, request{Type: msgRelease, SessionID: sid}, p.cfg.RPCTimeout)
 			}
 			return nil, fmt.Errorf("netproto: admission failed at %s: %v", host, err)
 		}
@@ -713,7 +768,8 @@ func (p *Peer) recoverComponent(sess *initiated, k int, dead string) bool {
 	if !ok {
 		return false
 	}
-	_, err := rpc(chosen, request{
+	// Single attempt, like admission: reserve is not idempotent.
+	_, err := p.rpc(chosen, request{
 		Type:        msgReserve,
 		SessionID:   sess.sid,
 		InstanceID:  inst.ID,
@@ -739,8 +795,9 @@ func (p *Peer) failInitiated(sess *initiated) {
 	hosts := append([]string(nil), sess.hosts...)
 	p.mu.Unlock()
 	for _, h := range hosts {
-		// Best effort: a host that cannot be reached is the one that
-		// failed; its reservation expires on its own.
-		_, _ = rpc(h, request{Type: msgRelease, SessionID: sess.sid}, p.cfg.RPCTimeout)
+		// Best effort (retried — release is idempotent): a host that
+		// cannot be reached is the one that failed; its reservation
+		// expires on its own.
+		_, _ = p.rpcRetry(h, request{Type: msgRelease, SessionID: sess.sid}, p.cfg.RPCTimeout)
 	}
 }

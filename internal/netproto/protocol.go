@@ -24,13 +24,18 @@
 // the network term of Φ uses 100/(1+RTT_ms) as the available-bandwidth
 // proxy (a prototype cannot know pairwise bottleneck bandwidth without a
 // measurement service like Nettimer, the paper's [12]).
+//
+// Every RPC dials through an injectable Transport (default: plain TCP;
+// internal/faults supplies a deterministic fault-injecting one), and the
+// idempotent messages (probe, lookup, join, leave, release) retry
+// transport failures with bounded exponential backoff — reserve never
+// does, because it is not idempotent (see RetryPolicy).
 package netproto
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"net"
 	"time"
 
 	"repro/internal/qos"
@@ -172,9 +177,9 @@ type response struct {
 	Chain []string `json:"chain,omitempty"`
 }
 
-// rpc performs one request/response exchange with addr.
-func rpc(addr string, req request, timeout time.Duration) (*response, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// rpc performs one request/response exchange with addr through tr.
+func rpc(tr Transport, addr string, req request, timeout time.Duration) (*response, error) {
+	conn, err := tr.Dial(addr, timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,104 @@
+package selection
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPhiValueEdgeCases pins PhiValue's behaviour at the boundaries the
+// signature allows but the simulator never produces: empty or lopsided
+// weight vectors, zero requirement denominators, zero/negative network
+// normalizers and mismatched vector lengths. The contract, as
+// implemented: the last weight is always the network weight (eq. 5's
+// ω_{m+1}); a resource dimension contributes only when its requirement
+// is positive AND all three of weights/avail/r cover the index; the
+// network term contributes only when bNet > 0 and at least one weight
+// exists. Nothing panics, whatever the shapes.
+func TestPhiValueEdgeCases(t *testing.T) {
+	third := 1.0 / 3
+	cases := []struct {
+		name     string
+		weights  []float64
+		avail    []float64
+		availNet float64
+		r        []float64
+		bNet     float64
+		want     float64
+	}{
+		{
+			name:    "paper shape: two resources plus network",
+			weights: []float64{third, third, third},
+			avail:   []float64{30, 60}, availNet: 50,
+			r: []float64{10, 20}, bNet: 1,
+			want: third*3 + third*3 + third*50,
+		},
+		{
+			name:    "nil weights yield zero",
+			weights: nil,
+			avail:   []float64{10}, availNet: 5, r: []float64{1}, bNet: 1,
+			want: 0,
+		},
+		{
+			name:    "single weight is the network weight",
+			weights: []float64{1},
+			avail:   []float64{10}, availNet: 8, r: []float64{2}, bNet: 2,
+			want: 4, // no resource term: m = 0 dimensions
+		},
+		{
+			name:    "zero requirement denominator contributes nothing",
+			weights: []float64{0.5, 0.5},
+			avail:   []float64{10}, availNet: 6, r: []float64{0}, bNet: 3,
+			want: 0.5 * 6 / 3,
+		},
+		{
+			name:    "zero bNet denominator skips the network term",
+			weights: []float64{0.5, 0.5},
+			avail:   []float64{10}, availNet: 100, r: []float64{5}, bNet: 0,
+			want: 0.5 * 10 / 5,
+		},
+		{
+			name:    "negative bNet treated like zero",
+			weights: []float64{0.5, 0.5},
+			avail:   []float64{10}, availNet: 100, r: []float64{5}, bNet: -1,
+			want: 0.5 * 10 / 5,
+		},
+		{
+			name:    "avail shorter than weights truncates the sum",
+			weights: []float64{0.25, 0.25, 0.5},
+			avail:   []float64{8}, availNet: 4, r: []float64{2, 2}, bNet: 2,
+			want: 0.25*8/2 + 0.5*4/2, // dimension 1 has no availability
+		},
+		{
+			name:    "r shorter than weights truncates the sum",
+			weights: []float64{0.25, 0.25, 0.5},
+			avail:   []float64{8, 8}, availNet: 4, r: []float64{2}, bNet: 2,
+			want: 0.25*8/2 + 0.5*4/2, // dimension 1 has no requirement
+		},
+		{
+			name:    "all-zero weights yield zero",
+			weights: []float64{0, 0, 0},
+			avail:   []float64{10, 10}, availNet: 10, r: []float64{1, 1}, bNet: 1,
+			want: 0,
+		},
+		{
+			name:    "zero resource weights leave only the network term",
+			weights: []float64{0, 0, 1},
+			avail:   []float64{10, 10}, availNet: 7, r: []float64{1, 1}, bNet: 1,
+			want: 7,
+		},
+		{
+			name:    "empty avail and r leave only the network term",
+			weights: []float64{third, third, third},
+			avail:   nil, availNet: 9, r: nil, bNet: 3,
+			want: third * 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PhiValue(tc.weights, tc.avail, tc.availNet, tc.r, tc.bNet)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("PhiValue = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

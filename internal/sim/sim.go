@@ -531,13 +531,25 @@ func (s *Simulator) scheduleRequests(now float64) {
 	}
 }
 
+// ChurnCounts splits one minute of topological variation at the given
+// rate (peers/min) into departure and arrival counts — Poisson-thinned
+// half/half so the population stays stationary (DESIGN.md §6 churn
+// model). Exported so other fault planes (the internal/faults chaos
+// harness crashing and restarting prototype peers) schedule churn with
+// exactly the distribution the simulator uses.
+func ChurnCounts(rng *xrand.Source, perMinute float64) (departures, arrivals int) {
+	if perMinute <= 0 {
+		return 0, 0
+	}
+	return rng.Poisson(perMinute / 2), rng.Poisson(perMinute / 2)
+}
+
 // scheduleChurn plans one minute of topological variation starting at now.
 func (s *Simulator) scheduleChurn(now float64) {
-	if s.cfg.ChurnRate <= 0 {
+	dep, arr := ChurnCounts(s.rngChurn, s.cfg.ChurnRate)
+	if dep == 0 && arr == 0 {
 		return
 	}
-	dep := s.rngChurn.Poisson(s.cfg.ChurnRate / 2)
-	arr := s.rngChurn.Poisson(s.cfg.ChurnRate / 2)
 	for i := 0; i < dep; i++ {
 		at := now + s.rngChurn.Float64()
 		s.engine.At(at, func() { s.churnDepart(at) })

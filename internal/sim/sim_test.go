@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // skipIfShort skips the multi-second simulation replays under -short so
@@ -393,5 +394,40 @@ func TestZeroRequestRate(t *testing.T) {
 	}
 	if res.Requests.Issued != 0 {
 		t.Fatalf("issued %d requests at rate 0", res.Requests.Issued)
+	}
+}
+
+func TestChurnCountsDeterministicAndStationary(t *testing.T) {
+	// Same seed, same sequence — the contract the netproto chaos
+	// harness relies on when it reuses the simulator's churn knob.
+	a, b := xrand.New(5), xrand.New(5)
+	for i := 0; i < 50; i++ {
+		da, aa := ChurnCounts(a, 40)
+		db, ab := ChurnCounts(b, 40)
+		if da != db || aa != ab {
+			t.Fatalf("round %d: (%d,%d) vs (%d,%d)", i, da, aa, db, ab)
+		}
+	}
+	// Zero or negative rates schedule nothing and consume no randomness.
+	c := xrand.New(9)
+	if d, arr := ChurnCounts(c, 0); d != 0 || arr != 0 {
+		t.Fatalf("rate 0 produced churn (%d,%d)", d, arr)
+	}
+	if d, arr := ChurnCounts(c, -3); d != 0 || arr != 0 {
+		t.Fatalf("negative rate produced churn (%d,%d)", d, arr)
+	}
+	if got := c.Uint64(); got != xrand.New(9).Uint64() {
+		t.Fatal("zero-rate ChurnCounts consumed randomness")
+	}
+	// The half/half split keeps the population stationary in expectation.
+	rng := xrand.New(1)
+	var dep, arr int
+	for i := 0; i < 2000; i++ {
+		d, a := ChurnCounts(rng, 10)
+		dep += d
+		arr += a
+	}
+	if dep < 9000 || dep > 11000 || arr < 9000 || arr > 11000 {
+		t.Fatalf("rate 10 over 2000 minutes: %d departures, %d arrivals, want ≈10000 each", dep, arr)
 	}
 }

@@ -41,6 +41,20 @@ func Mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// MixString absorbs s into the hash state h byte-wise, closing with a
+// length-keyed finalizer so field boundaries are unambiguous:
+// MixString(MixString(h,"ab"),"c") differs from
+// MixString(MixString(h,"a"),"bc"). It is the stateless companion of
+// SplitLabeled, used where per-(label, counter) values must be derived
+// without allocating a Source — e.g. per-link fault verdicts and
+// per-target retry jitter in the network prototype.
+func MixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = Mix64(h ^ uint64(s[i]))
+	}
+	return Mix64(h ^ uint64(len(s))*gamma)
+}
+
 // Split derives an independent child source. The child's stream is
 // statistically independent of the parent's subsequent output.
 func (s *Source) Split() *Source {

@@ -277,3 +277,18 @@ func TestBoolProbability(t *testing.T) {
 		t.Fatalf("Bool(0.3) hit rate = %v", p)
 	}
 }
+
+func TestMixStringBoundariesAndDeterminism(t *testing.T) {
+	if MixString(1, "abc") != MixString(1, "abc") {
+		t.Fatal("MixString not deterministic")
+	}
+	if MixString(MixString(1, "ab"), "c") == MixString(MixString(1, "a"), "bc") {
+		t.Fatal("field boundary ambiguity: (ab,c) collides with (a,bc)")
+	}
+	if MixString(1, "") == 1 {
+		t.Fatal("empty string must still perturb the state")
+	}
+	if MixString(1, "x") == MixString(2, "x") {
+		t.Fatal("seed ignored")
+	}
+}
