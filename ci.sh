@@ -10,7 +10,10 @@
 #   test      the short suite, then again under the race detector
 #   chaos     the netproto fault-injection suite, explicitly under -race
 #   coverage  internal/netproto statement coverage must not drop below
-#             the pre-fault-plane baseline (91.0%)
+#             the pre-fault-plane baseline (91.0%); internal/obs (the
+#             telemetry plane) must stay at or above 94.0%
+#   bench     the Telemetry benchmarks run once; they fail if the
+#             disabled-sink hot paths allocate
 #
 # Full statistical replays (minutes): go test ./...
 set -eu
@@ -35,7 +38,8 @@ go test -race -short -run 'TestChaos' ./internal/netproto/
 
 echo '>> netproto coverage gate'
 cover_out=$(mktemp /tmp/qsa_netproto_cover.XXXXXX)
-trap 'rm -f "$cover_out"' EXIT
+obs_cover_out=$(mktemp /tmp/qsa_obs_cover.XXXXXX)
+trap 'rm -f "$cover_out" "$obs_cover_out"' EXIT
 go test -short -coverprofile="$cover_out" ./internal/netproto/ > /dev/null
 cover=$(go tool cover -func="$cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 awk -v c="$cover" 'BEGIN {
@@ -45,5 +49,19 @@ awk -v c="$cover" 'BEGIN {
 	}
 	print "netproto coverage " c "% (baseline 91.0%)"
 }'
+
+echo '>> obs (telemetry) coverage gate'
+go test -short -coverprofile="$obs_cover_out" ./internal/obs/ > /dev/null
+obs_cover=$(go tool cover -func="$obs_cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+awk -v c="$obs_cover" 'BEGIN {
+	if (c + 0 < 94.0) {
+		print "obs coverage " c "% dropped below the 94.0% baseline"
+		exit 1
+	}
+	print "obs coverage " c "% (baseline 94.0%)"
+}'
+
+echo '>> telemetry zero-allocation bench smoke'
+go test -run '^$' -bench Telemetry -benchtime=1x ./internal/obs/ ./internal/netproto/ > /dev/null
 
 echo 'ci: ok'

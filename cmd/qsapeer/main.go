@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/netproto"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/service"
@@ -92,16 +94,60 @@ func main() {
 		aggregate = flag.String("aggregate", "", "abstract service path to aggregate, comma-separated")
 		minRate   = flag.Float64("minrate", 0, "minimum end-to-end rate required")
 		duration  = flag.Duration("duration", time.Minute, "session duration")
+		debugAddr = flag.String("debug-addr", "", "serve runtime metrics over HTTP at this address (/metrics text, /vars JSON)")
+		teleOut   = flag.String("telemetry", "", "write the JSONL decision-trace stream for aggregations to this file")
 	)
 	flag.Parse()
 
-	peer, err := netproto.Start(netproto.Config{Listen: *listen, CPU: *cpu, Memory: *mem})
+	pcfg := netproto.Config{Listen: *listen, CPU: *cpu, Memory: *mem}
+	if *debugAddr != "" {
+		pcfg.Metrics = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	var teleFile *os.File
+	if *teleOut != "" {
+		f, err := os.Create(*teleOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		teleFile = f
+		// The prototype timestamps with wall-clock seconds since process
+		// start (the simulator uses its deterministic virtual clock).
+		begin := time.Now()
+		tracer = obs.NewTracer(f, func() float64 { return time.Since(begin).Seconds() })
+		pcfg.Tracer = tracer
+	}
+
+	peer, err := netproto.Start(pcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer peer.Close()
+	defer func() {
+		if tracer == nil {
+			return
+		}
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			return
+		}
+		fmt.Printf("wrote %d telemetry events to %s\n", tracer.Count(), teleFile.Name())
+	}()
 	fmt.Printf("qsapeer listening on %s (cpu=%g mem=%g)\n", peer.Addr(), *cpu, *mem)
+
+	if *debugAddr != "" {
+		srv := &http.Server{Addr: *debugAddr, Handler: obs.Handler(pcfg.Metrics)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s/metrics\n", *debugAddr)
+	}
 
 	if *join != "" {
 		if err := peer.Join(*join); err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -32,6 +33,8 @@ func main() {
 		series   = flag.Bool("series", true, "print the ψ-over-time series")
 		traceOut = flag.String("trace-out", "", "record the workload to this JSONL trace file")
 		traceIn  = flag.String("trace-in", "", "replay the workload from this JSONL trace file")
+		teleOut  = flag.String("telemetry", "", "write the JSONL decision-trace stream to this file (qsastat reads it)")
+		metrics  = flag.Bool("metrics", false, "print the runtime metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -47,6 +50,23 @@ func main() {
 	cfg.SampleWindow = *window
 	cfg.EnableRecovery = *recovery
 	cfg.Lookup = *lookup
+
+	var teleFile *os.File
+	if *teleOut != "" {
+		f, err := os.Create(*teleOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		teleFile = f
+		cfg.TelemetryOut = f
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 
 	var tw *trace.Writer
 	var traceErr error
@@ -87,6 +107,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if teleFile != nil {
+		if res.TelemetryErr != nil {
+			fmt.Fprintln(os.Stderr, res.TelemetryErr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d telemetry events to %s\n", res.TelemetryEvents, *teleOut)
+	}
 	if tw != nil {
 		if traceErr == nil {
 			traceErr = tw.Flush()
@@ -126,6 +153,14 @@ func main() {
 	fmt.Printf("lookup:   lookups=%d mean-hops=%.2f\n",
 		res.Lookup.Lookups, res.Lookup.MeanHops())
 	fmt.Printf("peers alive at end: %d\n", res.AliveAtEnd)
+
+	if reg != nil {
+		fmt.Printf("\nruntime metrics:\n")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *series {
 		fmt.Printf("\nψ over time (window %g min):\n", *window)

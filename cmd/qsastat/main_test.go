@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// writeTrace runs a small churning simulation with telemetry enabled and
+// writes the stream to a temp file, returning its path and the result.
+func writeTrace(t *testing.T) (string, *sim.Result) {
+	t.Helper()
+	cfg := sim.DefaultConfig(31, sim.QSA, 600)
+	cfg.RequestRate = 40
+	cfg.Duration = 15
+	cfg.ChurnRate = 12
+	cfg.EnableRecovery = true
+	var buf bytes.Buffer
+	cfg.TelemetryOut = &buf
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TelemetryErr != nil {
+		t.Fatal(res.TelemetryErr)
+	}
+	path := filepath.Join(t.TempDir(), "run.tel.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, res
+}
+
+func TestSummaryMatchesSimulatorStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation; skipped under -short")
+	}
+	path, res := writeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// The summary must name every non-zero failure stage with the exact
+	// count the simulator recorded.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(rep.Total) != res.Requests.Issued {
+		t.Fatalf("report total %d != issued %d", rep.Total, res.Requests.Issued)
+	}
+	if uint64(rep.Count(obs.OutcomeSuccess)) != res.Requests.Succeeded {
+		t.Fatalf("success count mismatch")
+	}
+	if !strings.Contains(text, "requests") || !strings.Contains(text, "outcomes:") {
+		t.Fatalf("summary output malformed:\n%s", text)
+	}
+	if res.Requests.DepartureFailed > 0 && !strings.Contains(text, "failed: departure") {
+		t.Fatalf("departure failures not surfaced:\n%s", text)
+	}
+}
+
+func TestExplainRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation; skipped under -short")
+	}
+	path, _ := writeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-req", "1", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "request 1") || !strings.Contains(text, "outcome: ") {
+		t.Fatalf("explain output malformed:\n%s", text)
+	}
+	// Hop filtering: output restricted to the hop storyline (plus the
+	// outcome line), never the compose/admit events.
+	out.Reset()
+	if err := run([]string{"-req", "1", "-hop", "1", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "admitted session") {
+		t.Fatalf("-hop did not filter events:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing file argument accepted")
+	}
+	if err := run([]string{"does-not-exist.jsonl"}, &out); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-req", "9", empty}, &out); err == nil {
+		t.Fatal("unknown request ID accepted")
+	}
+}

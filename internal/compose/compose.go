@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/service"
 	"repro/internal/xrand"
@@ -54,6 +55,9 @@ type Config struct {
 	// BMax is bᵐᵃˣ, the normalization constant for bandwidth (default
 	// 10000 kbps, the largest pairwise class).
 	BMax float64
+	// Obs receives composition work counters (graph size, Dijkstra
+	// relaxations). The zero value disables the accounting.
+	Obs obs.ComposeCounters
 }
 
 func (c *Config) fillDefaults() {
@@ -168,6 +172,7 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 		return nil, err
 	}
 	cfg.fillDefaults()
+	cfg.Obs.Runs.Inc()
 
 	nodes := make([][]*node, len(layers))
 	for k := range layers {
@@ -175,6 +180,7 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 		for i := range layers[k] {
 			nodes[k][i] = &node{layer: k, idx: i, dist: -1, heapIdx: -1}
 		}
+		cfg.Obs.Vertices.Add(uint64(len(layers[k])))
 	}
 
 	h := &nodeHeap{}
@@ -185,8 +191,10 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 		if !qos.Satisfies(in.Qout, userQoS) {
 			continue
 		}
+		cfg.Obs.Edges.Inc()
 		n := nodes[last][i]
 		n.dist = cfg.EdgeCost(in)
+		cfg.Obs.Relaxations.Inc()
 		heap.Push(h, n)
 	}
 
@@ -209,12 +217,14 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 			if !pred.CanFeed(curInst) {
 				continue
 			}
+			cfg.Obs.Edges.Inc()
 			n := nodes[cur.layer-1][j]
 			if n.settled {
 				continue
 			}
 			d := cur.dist + cfg.EdgeCost(pred)
 			if n.dist < 0 || d < n.dist {
+				cfg.Obs.Relaxations.Inc()
 				n.dist = d
 				n.parent = cur
 				if n.heapIdx >= 0 {
@@ -225,6 +235,7 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 			}
 		}
 	}
+	cfg.Obs.NoPath.Inc()
 	return nil, ErrNoConsistentPath
 }
 

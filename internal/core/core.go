@@ -18,8 +18,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/compose"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/registry"
 	"repro/internal/selection"
@@ -155,6 +157,37 @@ type Aggregator struct {
 
 	// RNG drives the random composer.
 	RNG *xrand.Source
+
+	// Tracer, when non-nil, receives decision-trace events (compose
+	// results, retries, reservations, admissions, recoveries). Like RNG
+	// it is used from the single simulation goroutine only.
+	Tracer *obs.Tracer
+	// ReqID is the request ID stamped onto trace events. The caller
+	// (the simulator) sets it before each Aggregate call so core events
+	// join the caller's request span; it is never read when Tracer is
+	// nil.
+	ReqID uint64
+}
+
+// stageName maps a pipeline stage onto the obs trace vocabulary.
+func stageName(s Stage) string {
+	switch s {
+	case StageDiscovery:
+		return obs.StageDiscovery
+	case StageCompose:
+		return obs.StageCompose
+	case StageSelection:
+		return obs.StageSelection
+	default:
+		return obs.StageAdmission
+	}
+}
+
+// EventStage is the trace stage a pipeline error is attributed to —
+// exported so event consumers and RequestStats bookkeeping agree on the
+// mapping (every non-pipeline admission error is "admission").
+func EventStage(err error) string {
+	return stageName(StageOf(err))
 }
 
 // Discovery is the result of looking up every service of an abstract path.
@@ -216,7 +249,10 @@ func (a *Aggregator) Aggregate(user topology.PeerID, req *service.Request,
 	layers := disc.Layers
 	var lastErr error
 	for attempt := 0; attempt <= strat.Retries; attempt++ {
-		sess, path, err := a.attempt(user, req, now, strat, disc, layers)
+		if attempt > 0 && a.Tracer != nil {
+			a.Tracer.Emit(obs.Event{Kind: obs.KindRetry, Req: a.ReqID, Attempt: attempt})
+		}
+		sess, path, err := a.attempt(user, req, now, strat, disc, layers, attempt)
 		if err == nil {
 			return sess, nil
 		}
@@ -244,7 +280,7 @@ func (a *Aggregator) Aggregate(user topology.PeerID, req *service.Request,
 
 // attempt runs one compose→select→admit pass over the given layers.
 func (a *Aggregator) attempt(user topology.PeerID, req *service.Request, now float64,
-	strat Strategy, disc *Discovery, layers [][]*service.Instance) (*session.Session, *compose.Path, error) {
+	strat Strategy, disc *Discovery, layers [][]*service.Instance, attempt int) (*session.Session, *compose.Path, error) {
 
 	var path *compose.Path
 	var err error
@@ -259,7 +295,18 @@ func (a *Aggregator) attempt(user topology.PeerID, req *service.Request, now flo
 		err = fmt.Errorf("unknown composer %d", strat.Compose)
 	}
 	if err != nil {
+		if a.Tracer != nil {
+			a.Tracer.Emit(obs.Event{Kind: obs.KindCompose, Req: a.ReqID, Attempt: attempt, Err: err.Error()})
+		}
 		return nil, nil, &ErrAggregation{StageCompose, err}
+	}
+	if a.Tracer != nil {
+		ids := make([]string, len(path.Instances))
+		for i, in := range path.Instances {
+			ids[i] = in.ID
+		}
+		a.Tracer.Emit(obs.Event{Kind: obs.KindCompose, Req: a.ReqID, Attempt: attempt,
+			Path: ids, Cost: path.Cost, OK: true})
 	}
 
 	providers := make([][]topology.PeerID, len(path.Instances))
@@ -285,7 +332,18 @@ func (a *Aggregator) attempt(user topology.PeerID, req *service.Request, now flo
 
 	sess, err := a.Sessions.Admit(user, path.Instances, peers, req.Duration)
 	if err != nil {
+		if a.Tracer != nil {
+			a.Tracer.Emit(obs.Event{Kind: obs.KindReserve, Req: a.ReqID, Attempt: attempt, Err: err.Error()})
+		}
 		return nil, path, &ErrAggregation{StageAdmission, err}
+	}
+	if a.Tracer != nil {
+		hosts := make([]string, len(peers))
+		for i, p := range peers {
+			hosts[i] = strconv.Itoa(int(p))
+		}
+		a.Tracer.Emit(obs.Event{Kind: obs.KindAdmit, Req: a.ReqID, Attempt: attempt,
+			Session: strconv.FormatUint(sess.ID, 10), Path: hosts, OK: true})
 	}
 	return sess, path, nil
 }
@@ -301,6 +359,24 @@ func (a *Aggregator) PathCost(instances []*service.Instance) float64 {
 // is chosen from the component's current live providers by the downstream
 // neighbor, using the Φ selector.
 func (a *Aggregator) Recover(s *session.Session, k int, now float64) (topology.PeerID, bool) {
+	// Recovery runs from churn handling, outside any Aggregate call, so
+	// the trace event is attributed via the session (ReqID is stale
+	// here); Analyze joins it back to the request through the admit
+	// event's session binding.
+	replacement, ok := a.recoverStep(s, k, now)
+	if a.Tracer != nil {
+		ev := obs.Event{Kind: obs.KindRecover, Session: strconv.FormatUint(s.ID, 10),
+			Hop: k + 1, Inst: s.Instances[k].ID, OK: ok}
+		if ok {
+			ev.Peer = strconv.Itoa(int(replacement))
+		}
+		a.Tracer.Emit(ev)
+	}
+	return replacement, ok
+}
+
+// recoverStep is the recovery decision proper.
+func (a *Aggregator) recoverStep(s *session.Session, k int, now float64) (topology.PeerID, bool) {
 	downstream := s.User
 	if k < len(s.Peers)-1 {
 		downstream = s.Peers[k+1]

@@ -65,7 +65,13 @@ func NewSampler(window float64) (*Sampler, error) {
 }
 
 // Record attributes one outcome to the window containing issueTime.
-func (s *Sampler) Record(issueTime float64, ok bool) {
+// Negative times are rejected: int(issueTime/window) truncates toward
+// zero, which would silently merge (−window, 0) into the first window
+// [0, window) and skew its ψ sample.
+func (s *Sampler) Record(issueTime float64, ok bool) error {
+	if issueTime < 0 {
+		return fmt.Errorf("metrics: negative time %v", issueTime)
+	}
 	b := int(issueTime / s.window)
 	r, ok2 := s.buckets[b]
 	if !ok2 {
@@ -74,6 +80,7 @@ func (s *Sampler) Record(issueTime float64, ok bool) {
 	}
 	r.Add(ok)
 	s.total.Add(ok)
+	return nil
 }
 
 // Total returns the run-wide ratio.
@@ -112,17 +119,21 @@ type Summary struct {
 }
 
 // Summarize computes descriptive statistics of a series' values, skipping
-// NaNs.
+// NaNs. The variance accumulates via Welford's online algorithm: the
+// naive E[x²]−mean² form cancels catastrophically for ψ series clustered
+// near 1.0 (two ~1.0 quantities subtracted leave mostly rounding error),
+// whereas Welford keeps the running sum of squared deviations directly.
 func Summarize(points []Point) Summary {
-	var sum, sq float64
+	var mean, m2 float64
 	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
 	for _, p := range points {
 		if math.IsNaN(p.Value) {
 			continue
 		}
 		s.N++
-		sum += p.Value
-		sq += p.Value * p.Value
+		d := p.Value - mean
+		mean += d / float64(s.N)
+		m2 += d * (p.Value - mean)
 		if p.Value < s.Min {
 			s.Min = p.Value
 		}
@@ -133,8 +144,8 @@ func Summarize(points []Point) Summary {
 	if s.N == 0 {
 		return Summary{Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), Stdev: math.NaN()}
 	}
-	s.Mean = sum / float64(s.N)
-	v := sq/float64(s.N) - s.Mean*s.Mean
+	s.Mean = mean
+	v := m2 / float64(s.N) // population variance, as before
 	if v < 0 {
 		v = 0
 	}

@@ -33,10 +33,14 @@ func TestSamplerWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Record(0.5, true)
-	s.Record(1.9, false)
-	s.Record(2.1, true)
-	s.Record(6.5, true) // window [6,8): gap at [4,6)
+	for _, rec := range []struct {
+		t  float64
+		ok bool
+	}{{0.5, true}, {1.9, false}, {2.1, true}, {6.5, true}} { // last: window [6,8), gap at [4,6)
+		if err := s.Record(rec.t, rec.ok); err != nil {
+			t.Fatal(err)
+		}
+	}
 	pts := s.Series()
 	if len(pts) != 3 {
 		t.Fatalf("series = %v", pts)
@@ -95,7 +99,9 @@ func TestPropertySamplerConsistent(t *testing.T) {
 			return false
 		}
 		for _, e := range events {
-			s.Record(float64(e.T), e.OK)
+			if err := s.Record(float64(e.T), e.OK); err != nil {
+				return false
+			}
 		}
 		var n, succ uint64
 		for _, p := range s.Series() {
@@ -112,5 +118,38 @@ func TestPropertySamplerConsistent(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSamplerRejectsNegativeTime(t *testing.T) {
+	s, err := NewSampler(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(-0.5, true); err == nil {
+		t.Fatal("negative issue time must be rejected")
+	}
+	if s.Total().Total() != 0 {
+		t.Fatal("rejected outcome must not be counted")
+	}
+	if len(s.Series()) != 0 {
+		t.Fatal("rejected outcome must not create a window")
+	}
+}
+
+// Regression for the naive E[x²]−mean² formula: ψ values clustered near
+// 1.0 differ only in the low mantissa bits, and squaring first throws
+// those bits away — the naive variance collapses to 0 (or goes negative)
+// while Welford keeps the true spread.
+func TestSummarizeWelfordNearOne(t *testing.T) {
+	const d = 1e-9
+	pts := []Point{{Value: 1 - d}, {Value: 1}, {Value: 1 + d}}
+	s := Summarize(pts)
+	want := math.Sqrt(2 * d * d / 3) // population stdev of {−d, 0, +d}
+	if math.Abs(s.Stdev-want) > want/1e6 {
+		t.Fatalf("Stdev = %g, want %g (naive formula loses it to cancellation)", s.Stdev, want)
+	}
+	if math.Abs(s.Mean-1) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean)
 	}
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/compose"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/selection"
@@ -41,6 +43,18 @@ type Config struct {
 	// join, leave, release). Reserve and select are never retried — see
 	// RetryPolicy.
 	Retry RetryPolicy
+	// Metrics, when non-nil, receives runtime counters (per-RPC
+	// sent/failed/retried, RPC latency, probe cache hits/misses,
+	// admission decisions, transport dials) and causes Transport to be
+	// wrapped in a MeteredTransport. Nil disables the accounting at
+	// near-zero cost.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives the structured decision-trace
+	// stream for aggregations this peer initiates (request, compose,
+	// per-hop selection, reserve, admit, retry, recover, end). The
+	// tracer's clock decides timestamping: cmd/qsapeer uses wall time,
+	// tests inject deterministic clocks.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -140,7 +154,10 @@ type Peer struct {
 	initiated map[string]*initiated      // sessions this peer started
 	probes    map[string]probeResult
 	nextSess  uint64
+	nextReq   uint64
 	closed    bool
+
+	tele *peerTele // nil when Config.Metrics is nil
 
 	done chan struct{} // closed on Close; stops session monitors
 	wg   sync.WaitGroup
@@ -151,6 +168,11 @@ func Start(cfg Config) (*Peer, error) {
 	cfg.fillDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	var tele *peerTele
+	if cfg.Metrics != nil {
+		tele = newPeerTele(cfg.Metrics)
+		cfg.Transport = NewMeteredTransport(cfg.Transport, cfg.Metrics)
 	}
 	ledger, err := resource.NewLedger(resource.Vec2(cfg.CPU, cfg.Memory))
 	if err != nil {
@@ -172,6 +194,7 @@ func Start(cfg Config) (*Peer, error) {
 		initiated: make(map[string]*initiated),
 		probes:    make(map[string]probeResult),
 		done:      make(chan struct{}),
+		tele:      tele,
 	}
 	p.wg.Add(1)
 	go p.serve()
@@ -399,8 +422,10 @@ func (p *Peer) handleReserve(req request) response {
 	defer p.mu.Unlock()
 	need := resource.Vec2(req.CPU, req.Memory)
 	if !p.ledger.Reserve(need) {
+		p.tele.reserve(false)
 		return response{Err: "insufficient resources"}
 	}
+	p.tele.reserve(true)
 	// A session may place several components on the same host; the
 	// reservations accumulate and release together.
 	if held, ok := p.sessions[req.SessionID]; ok {
@@ -434,9 +459,11 @@ func (p *Peer) probe(addr string) probeResult {
 	p.mu.Lock()
 	if cached, ok := p.probes[addr]; ok && time.Since(cached.measured) < p.cfg.ProbeCacheTTL {
 		p.mu.Unlock()
+		p.tele.probeCache(true)
 		return cached
 	}
 	p.mu.Unlock()
+	p.tele.probeCache(false)
 	// Retried (idempotent): one dropped dial must not mark a live peer
 	// dead. The measured RTT then includes any backoff, which only makes
 	// a lossy link look worse — exactly what Φ's network term wants.
@@ -463,42 +490,67 @@ func netTerm(rtt time.Duration) float64 {
 }
 
 // selectNext is one hop-by-hop selection step executed AT THIS PEER: probe
-// the candidates, apply the paper's filters, maximize Φ.
-func (p *Peer) selectNext(inst *service.Instance, candidates []string, duration time.Duration) (string, bool) {
+// the candidates, apply the paper's filters, maximize Φ. With report set
+// it also returns the per-candidate decision record (Φ values and
+// filter reasons) for the WireHop trace; mode is "informed" when an
+// uptime-qualified winner existed, "fallback" when only short-uptime
+// candidates did, "none" on failure.
+func (p *Peer) selectNext(inst *service.Instance, candidates []string, duration time.Duration, report bool) (string, bool, string, []WireCand) {
+	p.tele.selectStep()
 	type scored struct {
 		addr string
 		phi  float64
-		up   bool
 	}
 	var best, bestAny *scored
+	var cands []WireCand
+	bestIdx, anyIdx := -1, -1
+	note := func(addr string, phi float64, reason string) int {
+		if !report {
+			return -1
+		}
+		cands = append(cands, WireCand{Addr: addr, Phi: phi, Reason: reason})
+		return len(cands) - 1
+	}
 	for _, c := range candidates {
 		if c == p.addr {
+			note(c, 0, "self")
 			continue
 		}
 		res := p.probe(c)
 		if !res.alive {
+			note(c, 0, "dead")
 			continue
 		}
 		if !res.avail.Fits(inst.R) {
+			note(c, 0, "no-fit")
 			continue
 		}
 		phi := selection.PhiValue(p.cfg.Weights, res.avail, netTerm(res.rtt), inst.R, 1)
-		s := &scored{addr: c, phi: phi, up: res.uptime >= duration}
-		if s.up {
-			if best == nil || s.phi > best.phi {
-				best = s
+		if res.uptime >= duration {
+			i := note(c, phi, "lower-phi")
+			if best == nil || phi > best.phi {
+				best = &scored{addr: c, phi: phi}
+				bestIdx = i
 			}
-		} else if bestAny == nil || s.phi > bestAny.phi {
-			bestAny = s
+		} else {
+			i := note(c, phi, "short-uptime")
+			if bestAny == nil || phi > bestAny.phi {
+				bestAny = &scored{addr: c, phi: phi}
+				anyIdx = i
+			}
 		}
 	}
-	if best != nil {
-		return best.addr, true
+	chosen, mode, winner := "", "none", -1
+	switch {
+	case best != nil:
+		chosen, mode, winner = best.addr, "informed", bestIdx
+	case bestAny != nil:
+		chosen, mode, winner = bestAny.addr, "fallback", anyIdx
 	}
-	if bestAny != nil {
-		return bestAny.addr, true
+	if report && winner >= 0 {
+		cands[winner].Reason = "chosen"
 	}
-	return "", false
+	return chosen, chosen != "", mode, cands
 }
 
 // handleSelect continues the distributed reverse-flow selection: choose
@@ -512,13 +564,17 @@ func (p *Peer) handleSelect(req request) response {
 		return response{Err: err.Error()}
 	}
 	duration := time.Duration(req.DurationSec * float64(time.Second))
-	chosen, ok := p.selectNext(inst, req.Candidates[inst.ID], duration)
+	chosen, ok, mode, cands := p.selectNext(inst, req.Candidates[inst.ID], duration, req.Trace)
+	var hops []WireHop
+	if req.Trace {
+		hops = []WireHop{{Idx: req.Idx, At: p.addr, Inst: inst.ID, Chosen: chosen, Mode: mode, Cands: cands}}
+	}
 	if !ok {
-		return response{Err: fmt.Sprintf("no selectable peer for %s", inst.ID)}
+		return response{Err: fmt.Sprintf("no selectable peer for %s", inst.ID), Hops: hops}
 	}
 	chain := append([]string{chosen}, req.Chain...)
 	if req.Idx == 0 {
-		return response{OK: true, Chain: chain}
+		return response{OK: true, Chain: chain, Hops: hops}
 	}
 	next := req
 	next.Idx--
@@ -528,9 +584,17 @@ func (p *Peer) handleSelect(req request) response {
 	// failed hop already fails the aggregation cleanly at the initiator.
 	resp, err := p.rpc(chosen, next, p.cfg.RPCTimeout*time.Duration(req.Idx+1))
 	if err != nil {
-		return response{Err: err.Error()}
+		// Keep whatever partial hop records came back so the initiator
+		// can still explain how far selection got.
+		out := response{Err: err.Error(), Hops: hops}
+		if resp != nil {
+			out.Hops = append(out.Hops, resp.Hops...)
+		}
+		return out
 	}
-	return *resp
+	out := *resp
+	out.Hops = append(hops, out.Hops...)
+	return out
 }
 
 // Aggregate runs the full two-tier model from this peer as the user's
@@ -539,6 +603,29 @@ func (p *Peer) handleSelect(req request) response {
 func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.Duration) (*Plan, error) {
 	if len(path) == 0 {
 		return nil, fmt.Errorf("netproto: empty path")
+	}
+	tr := p.cfg.Tracer
+	var rid uint64
+	if tr != nil {
+		p.mu.Lock()
+		p.nextReq++
+		rid = p.nextReq
+		p.mu.Unlock()
+		names := make([]string, len(path))
+		for i, svc := range path {
+			names[i] = string(svc)
+		}
+		tr.Emit(obs.Event{Kind: obs.KindRequest, Req: rid, User: p.addr,
+			App: strings.Join(names, "+"), Duration: duration.Seconds()})
+	}
+	// fail stamps the terminal failure stage on the request span and
+	// passes the error through, so every early return below stays a
+	// one-liner.
+	fail := func(stage string, err error) error {
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindFail, Req: rid, Stage: stage, Err: err.Error()})
+		}
+		return err
 	}
 	members := append(p.Members(), p.addr)
 
@@ -592,7 +679,7 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	}
 	for k := range layers {
 		if len(layers[k]) == 0 {
-			return nil, fmt.Errorf("netproto: no candidates for %q", path[k])
+			return nil, fail(obs.StageDiscovery, fmt.Errorf("netproto: no candidates for %q", path[k]))
 		}
 		sort.Slice(layers[k], func(i, j int) bool { return layers[k][i].ID < layers[k][j].ID })
 	}
@@ -601,9 +688,19 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	}
 
 	// Tier 1: composition.
-	composed, err := compose.QCS(layers, userQoS, compose.Config{Weights: p.cfg.Weights})
+	composed, err := compose.QCS(layers, userQoS, compose.Config{Weights: p.cfg.Weights, Obs: p.tele.composeObs()})
 	if err != nil {
-		return nil, err
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindCompose, Req: rid, Err: err.Error()})
+		}
+		return nil, fail(obs.StageCompose, err)
+	}
+	if tr != nil {
+		ids := make([]string, len(composed.Instances))
+		for i, in := range composed.Instances {
+			ids[i] = in.ID
+		}
+		tr.Emit(obs.Event{Kind: obs.KindCompose, Req: rid, Path: ids, Cost: composed.Cost, OK: true})
 	}
 
 	// Tier 2: distributed hop-by-hop selection starting at the user side.
@@ -620,14 +717,18 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		Idx:         len(wire) - 1,
 		UserAddr:    p.addr,
 		DurationSec: duration.Seconds(),
+		Trace:       tr != nil,
 	}
 	resp := p.handleSelect(selReq)
+	if tr != nil {
+		emitHops(tr, rid, resp.Hops)
+	}
 	if !resp.OK {
-		return nil, fmt.Errorf("netproto: selection failed: %s", resp.Err)
+		return nil, fail(obs.StageSelection, fmt.Errorf("netproto: selection failed: %s", resp.Err))
 	}
 	chain := resp.Chain
 	if len(chain) != len(composed.Instances) {
-		return nil, fmt.Errorf("netproto: selection returned %d hosts for %d components", len(chain), len(composed.Instances))
+		return nil, fail(obs.StageSelection, fmt.Errorf("netproto: selection returned %d hosts for %d components", len(chain), len(composed.Instances)))
 	}
 
 	// Admission: reserve on every selected host, rolling back on failure.
@@ -650,6 +751,13 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 			Memory:      in.R[resource.Memory],
 			DurationSec: duration.Seconds(),
 		}, p.cfg.RPCTimeout)
+		if tr != nil {
+			ev := obs.Event{Kind: obs.KindReserve, Req: rid, Peer: host, Inst: in.ID, OK: err == nil}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			tr.Emit(ev)
+		}
 		if err != nil {
 			for _, h := range reserved {
 				// Best-effort rollback (retried — release is idempotent):
@@ -657,7 +765,7 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 				// session duration anyway.
 				_, _ = p.rpcRetry(h, request{Type: msgRelease, SessionID: sid}, p.cfg.RPCTimeout)
 			}
-			return nil, fmt.Errorf("netproto: admission failed at %s: %v", host, err)
+			return nil, fail(obs.StageAdmission, fmt.Errorf("netproto: admission failed at %s: %v", host, err))
 		}
 		reserved = append(reserved, host)
 	}
@@ -665,6 +773,10 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	plan := &Plan{SessionID: sid, Peers: chain, Cost: composed.Cost}
 	for _, in := range composed.Instances {
 		plan.Instances = append(plan.Instances, in.ID)
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindAdmit, Req: rid, Session: sid,
+			Path: append([]string(nil), chain...), OK: true})
 	}
 
 	if p.cfg.MonitorInterval > 0 {
@@ -730,10 +842,14 @@ func (p *Peer) monitor(sess *initiated) {
 		p.mu.Unlock()
 		if time.Now().After(deadline) {
 			p.mu.Lock()
-			if sess.status == StatusActive {
+			completed := sess.status == StatusActive
+			if completed {
 				sess.status = StatusCompleted
 			}
 			p.mu.Unlock()
+			if completed && p.cfg.Tracer != nil {
+				p.cfg.Tracer.Emit(obs.Event{Kind: obs.KindEnd, Session: sess.sid, OK: true})
+			}
 			return
 		}
 		for k, host := range hosts {
@@ -764,8 +880,19 @@ func (p *Peer) recoverComponent(sess *initiated, k int, dead string) bool {
 	if remaining <= 0 {
 		return true // the session is about to complete anyway
 	}
-	chosen, ok := p.selectNext(inst, alive, remaining)
+	emit := func(ok bool, replacement string) {
+		if p.cfg.Tracer == nil {
+			return
+		}
+		ev := obs.Event{Kind: obs.KindRecover, Session: sess.sid, Hop: k + 1, Inst: inst.ID, OK: ok}
+		if ok {
+			ev.Peer = replacement
+		}
+		p.cfg.Tracer.Emit(ev)
+	}
+	chosen, ok, _, _ := p.selectNext(inst, alive, remaining, false)
 	if !ok {
+		emit(false, "")
 		return false
 	}
 	// Single attempt, like admission: reserve is not idempotent.
@@ -778,12 +905,14 @@ func (p *Peer) recoverComponent(sess *initiated, k int, dead string) bool {
 		DurationSec: remaining.Seconds(),
 	}, p.cfg.RPCTimeout)
 	if err != nil {
+		emit(false, "")
 		return false
 	}
 	p.mu.Lock()
 	sess.hosts[k] = chosen
 	sess.recovered++
 	p.mu.Unlock()
+	emit(true, chosen)
 	return true
 }
 
@@ -794,6 +923,10 @@ func (p *Peer) failInitiated(sess *initiated) {
 	sess.status = StatusFailed
 	hosts := append([]string(nil), sess.hosts...)
 	p.mu.Unlock()
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Emit(obs.Event{Kind: obs.KindEnd, Session: sess.sid, OK: false,
+			Stage: obs.StageDeparture, Err: "component host departed; recovery failed"})
+	}
 	for _, h := range hosts {
 		// Best effort (retried — release is idempotent): a host that
 		// cannot be reached is the one that failed; its reservation

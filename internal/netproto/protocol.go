@@ -130,6 +130,27 @@ const (
 	msgRelease = "release" // drop a session's reservation early
 )
 
+// WireCand is one candidate considered during a selection hop, with the
+// Φ value it scored (when probed) and why it was or was not chosen.
+type WireCand struct {
+	Addr   string  `json:"addr"`
+	Phi    float64 `json:"phi,omitempty"`
+	Reason string  `json:"reason"`
+}
+
+// WireHop is the decision record of one distributed selection hop,
+// carried back through the select recursion when the initiator asked for
+// tracing (request.Trace). Idx is the 0-based instance index in
+// aggregation-flow order; At is the peer that executed the step.
+type WireHop struct {
+	Idx    int        `json:"idx"`
+	At     string     `json:"at"`
+	Inst   string     `json:"inst"`
+	Chosen string     `json:"chosen,omitempty"`
+	Mode   string     `json:"mode,omitempty"`
+	Cands  []WireCand `json:"cands,omitempty"`
+}
+
 // request is the wire envelope for every RPC.
 type request struct {
 	Type string `json:"type"`
@@ -146,6 +167,7 @@ type request struct {
 	Idx        int                 `json:"idx,omitempty"`
 	Chain      []string            `json:"chain,omitempty"`
 	UserAddr   string              `json:"user_addr,omitempty"`
+	Trace      bool                `json:"trace,omitempty"` // carry WireHop decision records back
 
 	// reserve / release
 	SessionID   string  `json:"session_id,omitempty"`
@@ -174,7 +196,8 @@ type response struct {
 	UptimeSec float64   `json:"uptime_sec,omitempty"`
 
 	// select
-	Chain []string `json:"chain,omitempty"`
+	Chain []string  `json:"chain,omitempty"`
+	Hops  []WireHop `json:"hops,omitempty"` // per-hop decision records (request.Trace)
 }
 
 // rpc performs one request/response exchange with addr through tr.

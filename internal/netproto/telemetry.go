@@ -1,0 +1,157 @@
+package netproto
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// MeteredTransport wraps any Transport — including the fault-injecting
+// one from internal/faults — and counts dial attempts and failures into
+// an obs registry. Start installs it automatically when Config.Metrics
+// is set, so drop/partition effects injected below the RPC layer show up
+// as transport.dial_failures without the fault plane knowing about
+// telemetry.
+type MeteredTransport struct {
+	Inner Transport
+	// Dials counts every dial attempt; Failures the subset that returned
+	// an error. Nil counters disable the accounting.
+	Dials, Failures *obs.Counter
+}
+
+// NewMeteredTransport wraps inner with counters from reg
+// (transport.dials, transport.dial_failures).
+func NewMeteredTransport(inner Transport, reg *obs.Registry) MeteredTransport {
+	return MeteredTransport{
+		Inner:    inner,
+		Dials:    reg.Counter("transport.dials"),
+		Failures: reg.Counter("transport.dial_failures"),
+	}
+}
+
+// Dial implements Transport.
+func (m MeteredTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	m.Dials.Inc()
+	conn, err := m.Inner.Dial(addr, timeout)
+	if err != nil {
+		m.Failures.Inc()
+	}
+	return conn, err
+}
+
+// peerTele bundles a peer's metric instruments with the counter names
+// pre-resolved at construction, so the RPC hot path does no map work in
+// the registry. A nil *peerTele (telemetry disabled) makes every method
+// a no-op.
+type peerTele struct {
+	rpcSent    map[string]*obs.Counter // rpc.<type>.sent
+	rpcFailed  map[string]*obs.Counter // rpc.<type>.failed
+	rpcRetried map[string]*obs.Counter // rpc.<type>.retried
+	rpcLatency *obs.Histogram          // rpc.latency_seconds
+
+	probeHits, probeMisses *obs.Counter // probe.cache_hits / probe.cache_misses
+	admitOK, admitRejected *obs.Counter // reserve.admitted / reserve.rejected
+	selectSteps            *obs.Counter // select.steps
+
+	compose obs.ComposeCounters
+}
+
+var msgTypes = []string{msgJoin, msgLeave, msgLookup, msgProbe, msgSelect, msgReserve, msgRelease}
+
+func newPeerTele(reg *obs.Registry) *peerTele {
+	t := &peerTele{
+		rpcSent:       make(map[string]*obs.Counter, len(msgTypes)),
+		rpcFailed:     make(map[string]*obs.Counter, len(msgTypes)),
+		rpcRetried:    make(map[string]*obs.Counter, len(msgTypes)),
+		rpcLatency:    reg.Histogram("rpc.latency_seconds", obs.DefLatencyBuckets),
+		probeHits:     reg.Counter("probe.cache_hits"),
+		probeMisses:   reg.Counter("probe.cache_misses"),
+		admitOK:       reg.Counter("reserve.admitted"),
+		admitRejected: reg.Counter("reserve.rejected"),
+		selectSteps:   reg.Counter("select.steps"),
+		compose:       obs.NewComposeCounters(reg),
+	}
+	for _, m := range msgTypes {
+		t.rpcSent[m] = reg.Counter("rpc." + m + ".sent")
+		t.rpcFailed[m] = reg.Counter("rpc." + m + ".failed")
+		t.rpcRetried[m] = reg.Counter("rpc." + m + ".retried")
+	}
+	return t
+}
+
+// observeRPC accounts one RPC exchange. An unknown message type falls
+// through to the nil counter no-op.
+func (t *peerTele) observeRPC(typ string, d time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	t.rpcSent[typ].Inc()
+	if err != nil {
+		t.rpcFailed[typ].Inc()
+	}
+	t.rpcLatency.Observe(d.Seconds())
+}
+
+func (t *peerTele) retried(typ string) {
+	if t == nil {
+		return
+	}
+	t.rpcRetried[typ].Inc()
+}
+
+func (t *peerTele) probeCache(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.probeHits.Inc()
+	} else {
+		t.probeMisses.Inc()
+	}
+}
+
+func (t *peerTele) reserve(ok bool) {
+	if t == nil {
+		return
+	}
+	if ok {
+		t.admitOK.Inc()
+	} else {
+		t.admitRejected.Inc()
+	}
+}
+
+func (t *peerTele) selectStep() {
+	if t == nil {
+		return
+	}
+	t.selectSteps.Inc()
+}
+
+func (t *peerTele) composeObs() obs.ComposeCounters {
+	if t == nil {
+		return obs.ComposeCounters{}
+	}
+	return t.compose
+}
+
+// emitHops replays the wire-level selection report (one WireHop per hop,
+// in selection order: user side first) into the initiator's tracer.
+func emitHops(tr *obs.Tracer, rid uint64, hops []WireHop) {
+	for _, wh := range hops {
+		ev := obs.Event{
+			Kind:   obs.KindHop,
+			Req:    rid,
+			Hop:    wh.Idx + 1, // 1-based instance index, aggregation-flow order
+			Inst:   wh.Inst,
+			At:     wh.At,
+			Chosen: wh.Chosen,
+			Mode:   wh.Mode,
+		}
+		for _, c := range wh.Cands {
+			ev.Cands = append(ev.Cands, obs.Candidate{Peer: c.Addr, Phi: c.Phi, Reason: c.Reason})
+		}
+		tr.Emit(ev)
+	}
+}

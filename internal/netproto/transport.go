@@ -4,6 +4,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -85,6 +86,10 @@ func (p *Peer) rpcRetry(addr string, req request, timeout time.Duration) (*respo
 		if err == nil || resp != nil || attempt >= p.cfg.Retry.Attempts {
 			return resp, err
 		}
+		p.tele.retried(req.Type)
+		if tr := p.cfg.Tracer; tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindRetry, RPC: req.Type, Peer: addr, Attempt: attempt})
+		}
 		t := time.NewTimer(p.cfg.Retry.backoff(p.addr, addr, attempt))
 		select {
 		case <-p.done:
@@ -95,7 +100,15 @@ func (p *Peer) rpcRetry(addr string, req request, timeout time.Duration) (*respo
 	}
 }
 
-// rpc performs a single RPC exchange through the configured transport.
+// rpc performs a single RPC exchange through the configured transport,
+// accounting the attempt and its latency when telemetry is enabled. The
+// disabled path (tele == nil) adds one branch and no clock reads.
 func (p *Peer) rpc(addr string, req request, timeout time.Duration) (*response, error) {
-	return rpc(p.cfg.Transport, addr, req, timeout)
+	if p.tele == nil {
+		return rpc(p.cfg.Transport, addr, req, timeout)
+	}
+	start := time.Now()
+	resp, err := rpc(p.cfg.Transport, addr, req, timeout)
+	p.tele.observeRPC(req.Type, time.Since(start), err)
+	return resp, err
 }

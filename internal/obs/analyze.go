@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Outcome stages beyond the failure stages of trace.go.
+const (
+	// OutcomeSuccess: admitted and ran to completion.
+	OutcomeSuccess = "success"
+	// OutcomeAdmitted: admitted, no end event in the stream (the run was
+	// cut short or the stream is partial).
+	OutcomeAdmitted = "admitted"
+	// OutcomePending: a request span with no terminal event at all.
+	OutcomePending = "pending"
+)
+
+// RequestOutcome is the reconstructed lifecycle of one request.
+type RequestOutcome struct {
+	Req       uint64
+	User      string
+	App       string
+	Stage     string // OutcomeSuccess, or the failure stage, or pending/admitted
+	Err       string // the terminal error, when the request failed
+	Session   string // session ID once admitted
+	Retries   int    // recomposition retries
+	Recovered int    // components replaced by runtime recovery
+	Events    []Event
+}
+
+// Failed reports whether the request reached a terminal failure.
+func (r *RequestOutcome) Failed() bool {
+	switch r.Stage {
+	case StageDiscovery, StageCompose, StageSelection, StageAdmission, StageDeparture:
+		return true
+	}
+	return false
+}
+
+// StageCount is one per-stage tally.
+type StageCount struct {
+	Stage string
+	N     int
+}
+
+// Report is the aggregate analysis of one event stream.
+type Report struct {
+	Total    int               // request spans seen
+	Requests []*RequestOutcome // by request ID, ascending
+	ByStage  []StageCount      // deterministic canonical order
+}
+
+// stageOrder is the canonical presentation order: pipeline stages in
+// failure order, then the non-failure outcomes.
+var stageOrder = []string{
+	StageDiscovery, StageCompose, StageSelection, StageAdmission,
+	StageDeparture, OutcomeSuccess, OutcomeAdmitted, OutcomePending,
+}
+
+// Count returns the number of requests whose final stage is stage.
+func (r *Report) Count(stage string) int {
+	for _, sc := range r.ByStage {
+		if sc.Stage == stage {
+			return sc.N
+		}
+	}
+	return 0
+}
+
+// Request returns the outcome of request id, or nil.
+func (r *Report) Request(id uint64) *RequestOutcome {
+	for _, o := range r.Requests {
+		if o.Req == id {
+			return o
+		}
+	}
+	return nil
+}
+
+// Analyze reconstructs per-request outcomes from a decision-trace
+// stream: every request span is attributed to a concrete final stage
+// (discovery / compose / selection / admission / departure / success),
+// with session-scoped events (end, recover) joined to their request via
+// the admit event's session binding.
+func Analyze(events []Event) (*Report, error) {
+	rep := &Report{}
+	byReq := make(map[uint64]*RequestOutcome)
+	bySession := make(map[string]*RequestOutcome)
+
+	outcome := func(id uint64) *RequestOutcome {
+		o, ok := byReq[id]
+		if !ok {
+			o = &RequestOutcome{Req: id, Stage: OutcomePending}
+			byReq[id] = o
+			rep.Requests = append(rep.Requests, o)
+		}
+		return o
+	}
+
+	for i, ev := range events {
+		var o *RequestOutcome
+		if ev.Req != 0 {
+			o = outcome(ev.Req)
+		} else if ev.Session != "" {
+			o = bySession[ev.Session] // nil for sessions with no admit event
+		}
+		if o == nil {
+			continue
+		}
+		o.Events = append(o.Events, ev)
+		switch ev.Kind {
+		case KindRequest:
+			o.User, o.App = ev.User, ev.App
+		case KindRetry:
+			if ev.RPC == "" { // recomposition retries, not RPC retransmits
+				o.Retries++
+			}
+		case KindFail:
+			if ev.Stage == "" {
+				return nil, fmt.Errorf("obs: event %d: fail without stage", i+1)
+			}
+			o.Stage, o.Err = ev.Stage, ev.Err
+		case KindAdmit:
+			o.Stage, o.Session = OutcomeAdmitted, ev.Session
+			if ev.Session != "" {
+				bySession[ev.Session] = o
+			}
+		case KindRecover:
+			if ev.OK {
+				o.Recovered++
+			}
+		case KindEnd:
+			if ev.OK {
+				o.Stage = OutcomeSuccess
+			} else {
+				o.Stage, o.Err = StageDeparture, ev.Err
+			}
+		}
+	}
+
+	sort.Slice(rep.Requests, func(i, j int) bool { return rep.Requests[i].Req < rep.Requests[j].Req })
+	rep.Total = len(rep.Requests)
+
+	counts := make(map[string]int)
+	for _, o := range rep.Requests {
+		counts[o.Stage]++
+	}
+	for _, stage := range stageOrder {
+		if n := counts[stage]; n > 0 {
+			rep.ByStage = append(rep.ByStage, StageCount{Stage: stage, N: n})
+			delete(counts, stage)
+		}
+	}
+	var rest []string
+	for stage := range counts {
+		rest = append(rest, stage)
+	}
+	sort.Strings(rest)
+	for _, stage := range rest {
+		rep.ByStage = append(rep.ByStage, StageCount{Stage: stage, N: counts[stage]})
+	}
+	return rep, nil
+}

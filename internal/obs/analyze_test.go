@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// seqd stamps ascending sequence numbers onto a hand-built event list.
+func seqd(evs []Event) []Event {
+	for i := range evs {
+		evs[i].Seq = uint64(i + 1)
+	}
+	return evs
+}
+
+func TestAnalyzeOutcomes(t *testing.T) {
+	evs := seqd([]Event{
+		// req 1: composed, admitted, completed (with one recovery).
+		{Kind: KindRequest, Req: 1, User: "7", App: "app1"},
+		{Kind: KindCompose, Req: 1, Path: []string{"a", "b"}, Cost: 0.5, OK: true},
+		{Kind: KindHop, Req: 1, Hop: 2, Inst: "b", Chosen: "9", Mode: "informed"},
+		{Kind: KindHop, Req: 1, Hop: 1, Inst: "a", Chosen: "4", Mode: "fallback"},
+		{Kind: KindAdmit, Req: 1, Session: "0", OK: true},
+		{Kind: KindRecover, Session: "0", Hop: 1, Peer: "12", OK: true},
+		{Kind: KindEnd, Session: "0", OK: true},
+		// req 2: compose failed.
+		{Kind: KindRequest, Req: 2, App: "app2"},
+		{Kind: KindFail, Req: 2, Stage: StageCompose, Err: "no QoS-consistent path"},
+		// req 3: retried once, then selection failed.
+		{Kind: KindRequest, Req: 3, App: "app3"},
+		{Kind: KindRetry, Req: 3, Attempt: 1},
+		{Kind: KindFail, Req: 3, Stage: StageSelection, Err: "no selectable peer"},
+		// req 4: admitted then lost to a departure.
+		{Kind: KindRequest, Req: 4, App: "app1"},
+		{Kind: KindAdmit, Req: 4, Session: "1", OK: true},
+		{Kind: KindEnd, Session: "1", Err: "host departed"},
+		// req 5: admitted, stream ends before the session does.
+		{Kind: KindRequest, Req: 5, App: "app2"},
+		{Kind: KindAdmit, Req: 5, Session: "2", OK: true},
+		// an RPC-level retry must not count as a recomposition.
+		{Kind: KindRetry, Req: 5, Attempt: 2, RPC: "probe", Peer: "8"},
+	})
+	rep, err := Analyze(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 5 {
+		t.Fatalf("total = %d, want 5", rep.Total)
+	}
+	for id, want := range map[uint64]string{
+		1: OutcomeSuccess, 2: StageCompose, 3: StageSelection,
+		4: StageDeparture, 5: OutcomeAdmitted,
+	} {
+		o := rep.Request(id)
+		if o == nil || o.Stage != want {
+			t.Fatalf("req %d stage = %+v, want %s", id, o, want)
+		}
+	}
+	if o := rep.Request(1); o.Recovered != 1 || o.User != "7" || len(o.Events) != 7 {
+		t.Fatalf("req 1 = %+v", o)
+	}
+	if o := rep.Request(3); o.Retries != 1 || !o.Failed() {
+		t.Fatalf("req 3 = %+v", o)
+	}
+	if o := rep.Request(4); o.Err != "host departed" {
+		t.Fatalf("req 4 err = %q", o.Err)
+	}
+	if o := rep.Request(5); o.Retries != 0 {
+		t.Fatalf("req 5 retries = %d, want 0 (RPC retry must not count)", o.Retries)
+	}
+	// Canonical stage order: failures in pipeline order, then outcomes.
+	wantOrder := []string{StageCompose, StageSelection, StageDeparture, OutcomeSuccess, OutcomeAdmitted}
+	if len(rep.ByStage) != len(wantOrder) {
+		t.Fatalf("ByStage = %+v", rep.ByStage)
+	}
+	for i, w := range wantOrder {
+		if rep.ByStage[i].Stage != w || rep.ByStage[i].N != 1 {
+			t.Fatalf("ByStage[%d] = %+v, want %s/1", i, rep.ByStage[i], w)
+		}
+	}
+	if rep.Count(StageCompose) != 1 || rep.Count(StageDiscovery) != 0 {
+		t.Fatal("Count accessor disagrees with ByStage")
+	}
+}
+
+func TestAnalyzeFailWithoutStage(t *testing.T) {
+	_, err := Analyze(seqd([]Event{
+		{Kind: KindRequest, Req: 1},
+		{Kind: KindFail, Req: 1},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "fail without stage") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnalyzeIgnoresUnboundSessions(t *testing.T) {
+	// An end event for a session no admit bound (e.g. a truncated stream)
+	// must not crash or invent a request.
+	rep, err := Analyze(seqd([]Event{
+		{Kind: KindEnd, Session: "99", OK: true},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 0 {
+		t.Fatalf("total = %d, want 0", rep.Total)
+	}
+}

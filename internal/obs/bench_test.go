@@ -1,0 +1,53 @@
+package obs
+
+import "testing"
+
+// The Telemetry benchmarks double as allocation pins: ci.sh runs them
+// with -benchtime=1x and they fail outright if the disabled (nil) sink
+// path — or the enabled counter/histogram path — allocates.
+
+func BenchmarkTelemetryDisabledCounter(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	var g *Gauge
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		h.Observe(0.001)
+	}); allocs != 0 {
+		b.Fatalf("disabled instruments allocated %v per event, want 0", allocs)
+	}
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.001)
+	}
+}
+
+func BenchmarkTelemetryEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.counter")
+	h := r.Histogram("bench.hist", DefLatencyBuckets)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.003)
+	}); allocs != 0 {
+		b.Fatalf("enabled counter/histogram allocated %v per event, want 0", allocs)
+	}
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkTelemetryDisabledTracer(b *testing.B) {
+	var tr *Tracer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: KindReserve, Req: 1, Peer: "p", OK: true})
+	}); allocs != 0 {
+		b.Fatalf("disabled tracer allocated %v per event, want 0", allocs)
+	}
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: KindReserve, Req: 1, Peer: "p", OK: true})
+	}
+}

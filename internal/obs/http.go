@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves registry snapshots over HTTP for cmd/qsapeer's
+// -debug-addr:
+//
+//	GET /metrics  stable plain text (Snapshot.WriteText)
+//	GET /vars     expvar-style JSON (the Snapshot, indented)
+//
+// The root path redirects to /metrics for convenience.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// The snapshot is already in memory; a write error means the
+		// client went away.
+		_ = r.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		http.Redirect(w, req, "/metrics", http.StatusFound)
+	})
+	return mux
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryReuseAndSnapshotOrder(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("b") != r.Counter("b") {
+		t.Fatal("same name must return the same counter")
+	}
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(-5)
+	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "b" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Counters[0].Value != 1 || s.Counters[1].Value != 2 {
+		t.Fatalf("wrong counter values: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != -5 {
+		t.Fatalf("wrong gauges: %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
+		t.Fatalf("wrong histograms: %+v", s.Histograms)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 2, 1.5, 4}) // sanitized to 1, 2, 4
+	if len(h.bounds) != 3 {
+		t.Fatalf("bounds not sanitized: %v", h.bounds)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	want := []uint64{2, 2, 2} // ≤1: {0.5, 1}; ≤2: {1.5, 2}; ≤4: {3, 4}; over: {9}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.over.Load() != 1 {
+		t.Fatalf("overflow = %d, want 1", h.over.Load())
+	}
+	if h.Sum() < 20.99 || h.Sum() > 21.01 {
+		t.Fatalf("sum = %v, want 21", h.Sum())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DefLatencyBuckets).Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("gauge = %d, want 8000", got)
+	}
+	h := r.Histogram("h", nil)
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if h.Sum() < 23.9 || h.Sum() > 24.1 {
+		t.Fatalf("histogram sum = %v, want ~24", h.Sum())
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc.sent.probe").Add(3)
+	r.Gauge("sessions.active").Set(2)
+	h := r.Histogram("lat", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"counter rpc.sent.probe 3\n",
+		"gauge sessions.active 2\n",
+		"histogram lat count=2",
+		"  le 0.01 1\n",
+		"  le +inf 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text snapshot missing %q:\n%s", want, out)
+		}
+	}
+}

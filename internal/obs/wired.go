@@ -1,0 +1,89 @@
+package obs
+
+// Counter bundles for the instrumented subsystems. Each bundle is a
+// value struct of *Counter handles: the zero value is all-nil, which
+// no-ops, so subsystems carry a bundle unconditionally and callers wire
+// a registry only when they want the numbers.
+
+// ComposeCounters tracks QCS composition work (graph size and Dijkstra
+// effort).
+type ComposeCounters struct {
+	Runs        *Counter // QCS invocations
+	Vertices    *Counter // candidate instances across all layers
+	Edges       *Counter // QoS-feasible edges examined (seed edges included)
+	Relaxations *Counter // Dijkstra distance improvements
+	NoPath      *Counter // runs that found no QoS-consistent path
+}
+
+// NewComposeCounters wires the bundle into reg.
+func NewComposeCounters(reg *Registry) ComposeCounters {
+	return ComposeCounters{
+		Runs:        reg.Counter("compose.runs"),
+		Vertices:    reg.Counter("compose.vertices"),
+		Edges:       reg.Counter("compose.edges"),
+		Relaxations: reg.Counter("compose.relaxations"),
+		NoPath:      reg.Counter("compose.nopath"),
+	}
+}
+
+// SelectionCounters tracks hop-by-hop peer-selection work and outcomes.
+type SelectionCounters struct {
+	Steps          *Counter // selection steps executed
+	Informed       *Counter // steps decided by the Φ metric
+	Fallbacks      *Counter // steps decided by the random fallback
+	Failures       *Counter // steps with no selectable candidate
+	UptimeFiltered *Counter // candidates demoted for uptime < session duration
+	Infeasible     *Counter // candidates filtered by resource/bandwidth feasibility
+	NoInfo         *Counter // candidates with no fresh performance information
+}
+
+// NewSelectionCounters wires the bundle into reg.
+func NewSelectionCounters(reg *Registry) SelectionCounters {
+	return SelectionCounters{
+		Steps:          reg.Counter("select.steps"),
+		Informed:       reg.Counter("select.informed"),
+		Fallbacks:      reg.Counter("select.fallbacks"),
+		Failures:       reg.Counter("select.failures"),
+		UptimeFiltered: reg.Counter("select.uptime_filtered"),
+		Infeasible:     reg.Counter("select.infeasible"),
+		NoInfo:         reg.Counter("select.no_info"),
+	}
+}
+
+// ProbeCounters mirrors probe.Stats into a registry.
+type ProbeCounters struct {
+	Probes    *Counter
+	CacheHits *Counter
+	Evictions *Counter
+	Rejected  *Counter
+}
+
+// NewProbeCounters wires the bundle into reg.
+func NewProbeCounters(reg *Registry) ProbeCounters {
+	return ProbeCounters{
+		Probes:    reg.Counter("probe.probes"),
+		CacheHits: reg.Counter("probe.cache_hits"),
+		Evictions: reg.Counter("probe.evictions"),
+		Rejected:  reg.Counter("probe.rejected"),
+	}
+}
+
+// SessionCounters mirrors session.Counters into a registry.
+type SessionCounters struct {
+	Admitted   *Counter
+	Rejected   *Counter
+	Completed  *Counter
+	Failed     *Counter
+	Recoveries *Counter
+}
+
+// NewSessionCounters wires the bundle into reg.
+func NewSessionCounters(reg *Registry) SessionCounters {
+	return SessionCounters{
+		Admitted:   reg.Counter("session.admitted"),
+		Rejected:   reg.Counter("session.rejected"),
+		Completed:  reg.Counter("session.completed"),
+		Failed:     reg.Counter("session.failed"),
+		Recoveries: reg.Counter("session.recoveries"),
+	}
+}

@@ -22,6 +22,7 @@
 package probe
 
 import (
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/topology"
 )
@@ -124,6 +125,10 @@ type Manager struct {
 	net    *topology.Network
 	tables map[topology.PeerID]*Table
 	stats  Stats
+
+	// Obs mirrors the Stats increments into a metrics registry when
+	// wired; the zero value no-ops.
+	Obs obs.ProbeCounters
 }
 
 // NewManager returns a manager over the given network.
@@ -154,6 +159,7 @@ func (m *Manager) DropPeer(owner topology.PeerID) { delete(m.tables, owner) }
 // measure takes a fresh measurement of target from owner's perspective.
 func (m *Manager) measure(owner, target topology.PeerID, now float64) Info {
 	m.stats.Probes++
+	m.Obs.Probes.Inc()
 	p, err := m.net.Peer(target)
 	if err != nil || !p.Alive {
 		return Info{Alive: false, Measured: now}
@@ -182,6 +188,7 @@ func (m *Manager) Resolve(owner topology.PeerID, candidates []topology.PeerID, r
 		if !ok {
 			if len(t.entries) >= t.cap && !m.evictFor(t, rank, now) {
 				m.stats.Rejected++
+				m.Obs.Rejected.Inc()
 				continue
 			}
 			e = &entry{rank: rank}
@@ -196,6 +203,7 @@ func (m *Manager) Resolve(owner topology.PeerID, candidates []topology.PeerID, r
 			e.probed = true
 		} else {
 			m.stats.CacheHits++
+			m.Obs.CacheHits.Inc()
 		}
 	}
 }
@@ -222,6 +230,7 @@ func (m *Manager) evictFor(t *Table, rank Rank, now float64) bool {
 	}
 	t.remove(victim)
 	m.stats.Evictions++
+	m.Obs.Evictions.Inc()
 	return true
 }
 

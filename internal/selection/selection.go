@@ -26,6 +26,7 @@ package selection
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/service"
 	"repro/internal/topology"
@@ -77,6 +78,27 @@ type Stats struct {
 	Failures  uint64 // steps with no selectable candidate
 }
 
+// CandReport explains the fate of one candidate during a selection
+// step. Reason uses the obs trace vocabulary: "chosen", "lower-phi",
+// "short-uptime", "infeasible", "no-info", "dead", "self".
+type CandReport struct {
+	Peer   topology.PeerID
+	Phi    float64 // zero when filtered before scoring
+	Reason string
+}
+
+// StepReport describes one hop-by-hop selection step for the decision
+// trace: where it ran, what it was selecting, every candidate's fate,
+// and how the step was decided ("informed", "fallback", or "none").
+type StepReport struct {
+	Hop    int // 1-based, aggregation-flow order
+	At     topology.PeerID
+	Inst   string
+	Chosen topology.PeerID // -1 when no candidate was selectable
+	Mode   string
+	Cands  []CandReport
+}
+
 // Selector is the QSA peer selector. It consults the probe manager for
 // local performance information and never looks at global state.
 type Selector struct {
@@ -84,6 +106,15 @@ type Selector struct {
 	probes *probe.Manager
 	rng    *xrand.Source
 	stats  Stats
+
+	// Obs, when non-nil, receives a StepReport for every SelectPath
+	// step (recovery re-selections are not reported — they have no hop
+	// context). Building the reports costs allocations, so leave it nil
+	// unless a decision trace is wanted.
+	Obs func(StepReport)
+	// Counters, when wired to a registry, counts selection work and
+	// outcomes; the zero value no-ops.
+	Counters obs.SelectionCounters
 }
 
 // New returns a selector. rng drives only the random fallback.
@@ -133,8 +164,30 @@ func (s *Selector) Phi(info probe.Info, r []float64, bKbps float64) float64 {
 func (s *Selector) SelectNext(current topology.PeerID, inst *service.Instance,
 	candidates []topology.PeerID, dur, now float64, rank probe.Rank) (topology.PeerID, bool) {
 
+	chosen, ok, _, _ := s.selectStep(current, inst, candidates, dur, now, rank, false)
+	return chosen, ok
+}
+
+// selectStep is SelectNext plus decision accounting. With report set it
+// additionally returns every candidate's fate and the decision mode for
+// the trace stream.
+func (s *Selector) selectStep(current topology.PeerID, inst *service.Instance,
+	candidates []topology.PeerID, dur, now float64, rank probe.Rank,
+	report bool) (topology.PeerID, bool, string, []CandReport) {
+
+	s.Counters.Steps.Inc()
+
 	// Dynamic neighbor resolution + probing, bounded by M.
 	s.probes.Resolve(current, candidates, rank, now)
+
+	var cands []CandReport
+	add := func(c topology.PeerID, reason string, phi float64) int {
+		if !report {
+			return -1
+		}
+		cands = append(cands, CandReport{Peer: c, Phi: phi, Reason: reason})
+		return len(cands) - 1
+	}
 
 	// Two preference tiers (paper §3.3): first candidates whose uptime
 	// matches the session duration, then — when no candidate qualifies on
@@ -142,49 +195,75 @@ func (s *Selector) SelectNext(current topology.PeerID, inst *service.Instance,
 	// the Φ metric decides.
 	bestUp, bestAny := topology.PeerID(-1), topology.PeerID(-1)
 	phiUp, phiAny := 0.0, 0.0
+	upIdx, anyIdx := -1, -1
 	var unknown []topology.PeerID
+	var unknownIdx []int
 	for _, c := range candidates {
 		if c == current {
+			add(c, "self", 0)
 			continue
 		}
 		info, ok := s.probes.Fresh(current, c, now)
 		if !ok {
+			s.Counters.NoInfo.Inc()
 			unknown = append(unknown, c)
+			unknownIdx = append(unknownIdx, add(c, "no-info", 0))
 			continue
 		}
 		if !info.Alive {
+			add(c, "dead", 0)
 			continue
 		}
 		if s.cfg.UseFeasibility {
 			if !fits(info.Available, inst.R) || info.AvailKbps < inst.OutKbps {
+				s.Counters.Infeasible.Inc()
+				add(c, "infeasible", 0)
 				continue
 			}
 		}
 		phi := s.Phi(info, inst.R, inst.OutKbps)
 		if !s.cfg.UseUptime || info.Uptime >= dur {
+			ci := add(c, "lower-phi", phi)
 			if bestUp < 0 || phi > phiUp {
-				bestUp, phiUp = c, phi
+				bestUp, phiUp, upIdx = c, phi, ci
 			}
-		} else if bestAny < 0 || phi > phiAny {
-			bestAny, phiAny = c, phi
+		} else {
+			s.Counters.UptimeFiltered.Inc()
+			ci := add(c, "short-uptime", phi)
+			if bestAny < 0 || phi > phiAny {
+				bestAny, phiAny, anyIdx = c, phi, ci
+			}
+		}
+	}
+	mark := func(i int) {
+		if report && i >= 0 {
+			cands[i].Reason = "chosen"
 		}
 	}
 	if bestUp >= 0 {
 		s.stats.Informed++
-		return bestUp, true
+		s.Counters.Informed.Inc()
+		mark(upIdx)
+		return bestUp, true, "informed", cands
 	}
 	if bestAny >= 0 {
 		s.stats.Informed++
-		return bestAny, true
+		s.Counters.Informed.Inc()
+		mark(anyIdx)
+		return bestAny, true, "informed", cands
 	}
 	// The paper's fallback: random among candidates whose performance
 	// information is not available.
 	if len(unknown) > 0 {
 		s.stats.Fallbacks++
-		return unknown[s.rng.Intn(len(unknown))], true
+		s.Counters.Fallbacks.Inc()
+		i := s.rng.Intn(len(unknown))
+		mark(unknownIdx[i])
+		return unknown[i], true, "fallback", cands
 	}
 	s.stats.Failures++
-	return -1, false
+	s.Counters.Failures.Inc()
+	return -1, false, "none", cands
 }
 
 func fits(avail, req []float64) bool {
@@ -225,7 +304,17 @@ func (s *Selector) SelectPath(user topology.PeerID, instances []*service.Instanc
 		if current == user {
 			rank = probe.DirectRank(1)
 		}
-		next, ok := s.SelectNext(current, instances[k], providers[k], dur, now, rank)
+		next, ok, mode, cands := s.selectStep(current, instances[k], providers[k], dur, now, rank, s.Obs != nil)
+		if s.Obs != nil {
+			s.Obs(StepReport{
+				Hop:    k + 1,
+				At:     current,
+				Inst:   instances[k].ID,
+				Chosen: next,
+				Mode:   mode,
+				Cands:  cands,
+			})
+		}
 		if !ok {
 			return nil, false
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/eventsim"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/topology"
 )
@@ -124,6 +125,9 @@ type Manager struct {
 	// OnEnd, when non-nil, is invoked once per admitted session when it
 	// completes or fails.
 	OnEnd func(s *Session)
+	// Obs mirrors the Counters increments into a metrics registry when
+	// wired; the zero value no-ops.
+	Obs obs.SessionCounters
 }
 
 // NewManager returns a session manager bound to the network and engine.
@@ -214,14 +218,17 @@ func (m *Manager) Admit(user topology.PeerID, instances []*service.Instance,
 
 	if len(instances) == 0 || len(instances) != len(peers) {
 		m.counters.Rejected++
+		m.Obs.Rejected.Inc()
 		return nil, fmt.Errorf("session: %d instances vs %d peers", len(instances), len(peers))
 	}
 	if dur <= 0 {
 		m.counters.Rejected++
+		m.Obs.Rejected.Inc()
 		return nil, fmt.Errorf("session: non-positive duration %v", dur)
 	}
 	if up, err := m.net.Peer(user); err != nil || !up.Alive {
 		m.counters.Rejected++
+		m.Obs.Rejected.Inc()
 		return nil, fmt.Errorf("session: user peer %d not alive", user)
 	}
 	s := &Session{
@@ -238,6 +245,7 @@ func (m *Manager) Admit(user topology.PeerID, instances []*service.Instance,
 	fail := func(reason string) (*Session, error) {
 		m.releaseAll(s)
 		m.counters.Rejected++
+		m.Obs.Rejected.Inc()
 		return nil, fmt.Errorf("session: %s", reason)
 	}
 	for k := range peers {
@@ -260,6 +268,7 @@ func (m *Manager) Admit(user topology.PeerID, instances []*service.Instance,
 	}
 	s.done = m.engine.After(dur, func() { m.complete(s) })
 	m.counters.Admitted++
+	m.Obs.Admitted.Inc()
 	return s, nil
 }
 
@@ -297,6 +306,7 @@ func (m *Manager) complete(s *Session) {
 	delete(m.sessions, s.ID)
 	s.State = Completed
 	m.counters.Completed++
+	m.Obs.Completed.Inc()
 	if m.OnEnd != nil {
 		m.OnEnd(s)
 	}
@@ -312,6 +322,7 @@ func (m *Manager) failSession(s *Session) {
 	s.State = Failed
 	s.done.Cancel()
 	m.counters.Failed++
+	m.Obs.Failed.Inc()
 	if m.OnEnd != nil {
 		m.OnEnd(s)
 	}

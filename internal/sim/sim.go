@@ -18,7 +18,9 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/can"
 	"repro/internal/catalog"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eventsim"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/qos"
 	"repro/internal/registry"
@@ -159,6 +162,15 @@ type Config struct {
 	// has departed fall back to a random alive peer.
 	Replay []trace.Entry
 
+	// TelemetryOut, when non-nil, receives the JSON-lines decision-trace
+	// stream (package obs): one span of events per request, timestamped
+	// by the virtual clock — same-seed runs emit byte-identical streams.
+	TelemetryOut io.Writer
+
+	// Metrics, when non-nil, receives runtime work counters from every
+	// subsystem (compose, selection, probing, sessions).
+	Metrics *obs.Registry
+
 	Catalog   catalog.Config
 	Topology  topology.Config
 	Probe     probe.Config
@@ -253,6 +265,12 @@ type Result struct {
 	Selection  selection.Stats      // meaningful for QSA only
 	Lookup     registry.LookupStats // DHT routing statistics
 	AliveAtEnd int
+
+	// TelemetryEvents is the number of decision-trace events emitted
+	// (0 when Config.TelemetryOut is nil); TelemetryErr carries the
+	// first telemetry write error, if any.
+	TelemetryEvents uint64
+	TelemetryErr    error
 }
 
 // Simulator is one configured run.
@@ -267,6 +285,7 @@ type Simulator struct {
 
 	qsaSel *selection.Selector
 	agg    *core.Aggregator
+	tracer *obs.Tracer
 
 	sampler *metrics.Sampler
 	stats   RequestStats
@@ -314,6 +333,12 @@ func New(cfg Config) (*Simulator, error) {
 	if s.qsaSel, err = selection.New(cfg.Selection, s.probes, root.SplitLabeled("selection")); err != nil {
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		cfg.Compose.Obs = obs.NewComposeCounters(cfg.Metrics)
+		s.probes.Obs = obs.NewProbeCounters(cfg.Metrics)
+		s.sess.Obs = obs.NewSessionCounters(cfg.Metrics)
+		s.qsaSel.Counters = obs.NewSelectionCounters(cfg.Metrics)
+	}
 	s.agg = &core.Aggregator{
 		Registry:       s.reg,
 		Sessions:       s.sess,
@@ -322,6 +347,35 @@ func New(cfg Config) (*Simulator, error) {
 		FixedSelector:  selection.NewFixed(),
 		ComposeConfig:  cfg.Compose,
 		RNG:            root.SplitLabeled("composerand"),
+	}
+	if cfg.TelemetryOut != nil {
+		// eventsim.Time is an alias for float64, so the engine clock is
+		// the tracer clock — events carry simulated minutes.
+		s.tracer = obs.NewTracer(cfg.TelemetryOut, s.engine.Now)
+		s.agg.Tracer = s.tracer
+		// Hop reports join the request span via the aggregator's current
+		// request ID (single simulation goroutine, so never stale here).
+		s.qsaSel.Obs = func(rep selection.StepReport) {
+			ev := obs.Event{
+				Kind: obs.KindHop,
+				Req:  s.agg.ReqID,
+				Hop:  rep.Hop,
+				Inst: rep.Inst,
+				At:   strconv.Itoa(int(rep.At)),
+				Mode: rep.Mode,
+			}
+			if rep.Chosen >= 0 {
+				ev.Chosen = strconv.Itoa(int(rep.Chosen))
+			}
+			for _, c := range rep.Cands {
+				ev.Cands = append(ev.Cands, obs.Candidate{
+					Peer:   strconv.Itoa(int(c.Peer)),
+					Phi:    c.Phi,
+					Reason: c.Reason,
+				})
+			}
+			s.tracer.Emit(ev)
+		}
 	}
 
 	// Join every initial peer to the DHT, then stabilize: the grid under
@@ -372,12 +426,37 @@ func (s *Simulator) Catalog() *catalog.Catalog { return s.cat }
 
 func (s *Simulator) onSessionEnd(sess *session.Session) {
 	ok := sess.State == session.Completed
-	s.sampler.Record(sess.Start, ok)
+	// Session start times come off the engine clock, never negative.
+	_ = s.sampler.Record(sess.Start, ok)
+	if s.tracer != nil {
+		ev := obs.Event{Kind: obs.KindEnd, Session: strconv.FormatUint(sess.ID, 10), OK: ok}
+		if !ok {
+			ev.Stage = obs.StageDeparture
+			ev.Err = "provisioning peer departed"
+		}
+		s.tracer.Emit(ev)
+	}
 	if ok {
 		s.stats.Succeeded++
 	} else {
 		s.stats.DepartureFailed++
 	}
+}
+
+// failEarly accounts a request that failed before the pipeline could
+// even start (no alive user peer, or an unreplayable trace entry); the
+// paper counts these against ψ like any other discovery failure.
+func (s *Simulator) failEarly(now float64, app, reason string) {
+	s.stats.Issued++
+	s.stats.DiscoveryFailed++
+	s.agg.ReqID++
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Kind: obs.KindRequest, Req: s.agg.ReqID, App: app})
+		s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: s.agg.ReqID,
+			Stage: obs.StageDiscovery, Err: reason})
+	}
+	// Engine time is never negative, so the record cannot fail.
+	_ = s.sampler.Record(now, false)
 }
 
 // recover implements the runtime-recovery extension via the core engine.
@@ -390,9 +469,7 @@ func (s *Simulator) issueRequest(now float64) {
 	user := s.net.RandomAliveFrom(s.rngWorkload)
 	req := s.cat.SampleRequest(s.rngWorkload)
 	if user == nil {
-		s.stats.Issued++
-		s.stats.DiscoveryFailed++
-		s.sampler.Record(now, false)
+		s.failEarly(now, req.App.ID, "no alive user peer")
 		return
 	}
 	if s.cfg.TraceSink != nil {
@@ -417,16 +494,12 @@ func (s *Simulator) issueReplayed(now float64, e trace.Entry) {
 		}
 	}
 	if app == nil {
-		s.stats.Issued++
-		s.stats.DiscoveryFailed++
-		s.sampler.Record(now, false)
+		s.failEarly(now, e.App, "replayed app not in catalog")
 		return
 	}
 	lvl, err := qos.ParseLevel(e.Level)
 	if err != nil {
-		s.stats.Issued++
-		s.stats.DiscoveryFailed++
-		s.sampler.Record(now, false)
+		s.failEarly(now, e.App, err.Error())
 		return
 	}
 	user, perr := s.net.Peer(topology.PeerID(e.User))
@@ -434,9 +507,7 @@ func (s *Simulator) issueReplayed(now float64, e trace.Entry) {
 		user = s.net.RandomAliveFrom(s.rngWorkload)
 	}
 	if user == nil {
-		s.stats.Issued++
-		s.stats.DiscoveryFailed++
-		s.sampler.Record(now, false)
+		s.failEarly(now, e.App, "no alive user peer")
 		return
 	}
 	req := &service.Request{
@@ -451,6 +522,12 @@ func (s *Simulator) issueReplayed(now float64, e trace.Entry) {
 // issueWith runs the aggregation pipeline for a concrete (user, request).
 func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Request) {
 	s.stats.Issued++
+	s.agg.ReqID++ // opens the request span; core events join it
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Kind: obs.KindRequest, Req: s.agg.ReqID,
+			User: strconv.Itoa(int(user.ID)), App: req.App.ID,
+			Level: req.Level.String(), Duration: req.Duration})
+	}
 	strat := s.cfg.Algorithm.Strategy()
 	if s.cfg.DisableRetry {
 		strat.Retries = 0
@@ -459,6 +536,9 @@ func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Req
 	if err == nil {
 		return // outcome recorded by onSessionEnd
 	}
+	// The stage switch and the trace event use the same mapping
+	// (core.EventStage), so qsastat's per-stage counts reconcile with
+	// RequestStats exactly.
 	switch core.StageOf(err) {
 	case core.StageDiscovery:
 		s.stats.DiscoveryFailed++
@@ -469,7 +549,11 @@ func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Req
 	default:
 		s.stats.AdmissionFailed++
 	}
-	s.sampler.Record(now, false)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: s.agg.ReqID,
+			Stage: core.EventStage(err), Err: err.Error()})
+	}
+	_ = s.sampler.Record(now, false)
 }
 
 // churnDepart removes one random peer and propagates the departure.
@@ -627,6 +711,10 @@ func (s *Simulator) Run() *Result {
 	}
 	res.Series = trimmed
 	sort.SliceStable(res.Series, func(i, j int) bool { return res.Series[i].Time < res.Series[j].Time })
+	if s.tracer != nil {
+		res.TelemetryErr = s.tracer.Flush()
+		res.TelemetryEvents = s.tracer.Count()
+	}
 	return res
 }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -77,5 +78,79 @@ func TestReadEmpty(t *testing.T) {
 	got, err := Read(strings.NewReader(""))
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty trace: %v, %v", got, err)
+	}
+}
+
+// failAfter is a writer that starts failing once n bytes have been
+// accepted, like a filesystem running out of space mid-stream.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written >= f.n {
+		return 0, errWriterFull
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errWriterFull = fmt.Errorf("writer full")
+
+func TestWriterSurfacesSinkErrors(t *testing.T) {
+	// The bufio layer absorbs early writes; the sink error must surface
+	// by Write once the buffer spills, or at the latest by Flush.
+	w := NewWriter(&failAfter{n: 64})
+	e := Entry{T: 1, User: 1, App: "app1", Level: "low", Duration: 1}
+	var failed error
+	for i := 0; i < 200; i++ {
+		if err := w.Write(e); err != nil {
+			failed = err
+			break
+		}
+	}
+	if failed == nil {
+		failed = w.Flush()
+	}
+	if failed == nil {
+		t.Fatal("200 writes into a 64-byte sink never reported an error")
+	}
+}
+
+func TestReadBackwardsTimeMidStream(t *testing.T) {
+	// The disorder must be reported with the position of the offending
+	// entry, and entries after it must not be silently returned.
+	stream := `{"t":1,"user":1,"app":"a","level":"low","duration":1}
+{"t":2,"user":1,"app":"a","level":"low","duration":1}
+{"t":1.5,"user":1,"app":"a","level":"low","duration":1}
+{"t":3,"user":1,"app":"a","level":"low","duration":1}
+`
+	got, err := Read(strings.NewReader(stream))
+	if err == nil {
+		t.Fatal("mid-stream disorder accepted")
+	}
+	if !strings.Contains(err.Error(), "entry 3") {
+		t.Fatalf("error %q does not name entry 3", err)
+	}
+	if got != nil {
+		t.Fatalf("partial result %v returned alongside error", got)
+	}
+}
+
+func TestReadInvalidEntryAtEOFBoundary(t *testing.T) {
+	// A final invalid entry without a trailing newline sits exactly at
+	// the EOF boundary of the decoder; it must still be validated, not
+	// dropped as if the stream had ended cleanly.
+	stream := `{"t":1,"user":1,"app":"a","level":"low","duration":1}
+{"t":2,"user":-7,"app":"a","level":"low","duration":1}`
+	if _, err := Read(strings.NewReader(stream)); err == nil {
+		t.Fatal("invalid entry at EOF boundary accepted")
+	}
+	// And a truncated JSON object at EOF is a decode error, not success.
+	trunc := `{"t":1,"user":1,"app":"a","level":"low","duration":1}
+{"t":2,"user":`
+	if _, err := Read(strings.NewReader(trunc)); err == nil {
+		t.Fatal("truncated entry at EOF accepted")
 	}
 }
