@@ -13,7 +13,12 @@
 #             the pre-fault-plane baseline (91.0%); internal/obs (the
 #             telemetry plane) must stay at or above 94.0%
 #   bench     the Telemetry benchmarks run once; they fail if the
-#             disabled-sink hot paths allocate
+#             disabled-sink hot paths allocate. The request hot-path
+#             benchmarks (QCS, Discover, Aggregate, SimMinute, the probe
+#             table) also run once under -race as a smoke test, and the
+#             steady-state Aggregate allocation budget is gated without
+#             -race (the detector inflates counts). Full numbers:
+#             scripts/bench_hotpath.sh regenerates BENCH_hotpath.json.
 #
 # Full statistical replays (minutes): go test ./...
 set -eu
@@ -63,5 +68,12 @@ awk -v c="$obs_cover" 'BEGIN {
 
 echo '>> telemetry zero-allocation bench smoke'
 go test -run '^$' -bench Telemetry -benchtime=1x ./internal/obs/ ./internal/netproto/ > /dev/null
+
+echo '>> hot-path bench smoke under -race'
+go test -race -run '^$' -bench 'Benchmark(QCS|Discover|Aggregate|SimMinute|TableRemove|ResolveFull)$' \
+	-benchtime=1x ./internal/compose/ ./internal/core/ ./internal/probe/ ./internal/sim/ > /dev/null
+
+echo '>> steady-state allocation gate'
+go test -run 'TestAggregateSteadyStateAllocs' -count=1 ./internal/core/ > /dev/null
 
 echo 'ci: ok'

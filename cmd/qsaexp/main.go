@@ -42,6 +42,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each figure's data as CSV into this directory")
 		repeats  = flag.Int("repeats", 1, "replicas per curve cell (mean±sd across seeds)")
 		scal     = flag.Bool("scalability", false, "run the grid-size scalability sweep")
+		nocache  = flag.Bool("nocache", false, "disable the hot-path caches (same results, slower; for benchmarking)")
 	)
 	flag.Parse()
 	if *fig == "" && *ablation == "" && !*scal {
@@ -61,6 +62,7 @@ func main() {
 	}
 	s.Workers = *workers
 	s.Repeats = *repeats
+	s.DisableCaches = *nocache
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, err)

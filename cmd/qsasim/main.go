@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 		traceIn  = flag.String("trace-in", "", "replay the workload from this JSONL trace file")
 		teleOut  = flag.String("telemetry", "", "write the JSONL decision-trace stream to this file (qsastat reads it)")
 		metrics  = flag.Bool("metrics", false, "print the runtime metrics snapshot after the run")
+		metOut   = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file (qsastat -metrics reads it)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,7 @@ func main() {
 		cfg.TelemetryOut = f
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *metOut != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -155,10 +157,30 @@ func main() {
 	fmt.Printf("peers alive at end: %d\n", res.AliveAtEnd)
 
 	if reg != nil {
-		fmt.Printf("\nruntime metrics:\n")
-		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		snap := reg.Snapshot()
+		if *metrics {
+			fmt.Printf("\nruntime metrics:\n")
+			if err := snap.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *metOut != "" {
+			f, err := os.Create(*metOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(snap); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	}
 

@@ -8,9 +8,17 @@
 //	qsastat run.tel.jsonl                 # per-stage outcome summary
 //	qsastat -req 17 run.tel.jsonl         # full storyline of request 17
 //	qsastat -req 17 -hop 2 run.tel.jsonl  # candidate set of hop 2 only
+//	qsastat -metrics run.metrics.json run.tel.jsonl
+//	                                      # + hot-path cache effectiveness
+//
+// The -metrics input is the JSON snapshot written by
+// `qsasim -metrics-out` (the same shape qsapeer serves at /vars); from
+// it the summary derives discovery-cache and compatibility-memo hit
+// rates — the performance plane's effectiveness report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qsastat", flag.ContinueOnError)
 	req := fs.Uint64("req", 0, "explain this request ID (trace IDs start at 1)")
 	hop := fs.Int("hop", 0, "with -req: show only this 1-based hop's candidate decisions")
+	met := fs.String("metrics", "", "metrics snapshot JSON (qsasim -metrics-out); adds a cache-effectiveness section")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +63,50 @@ func run(args []string, out io.Writer) error {
 	if *req != 0 {
 		return explain(out, rep, *req, *hop)
 	}
-	return summarize(out, rep, events)
+	if err := summarize(out, rep, events); err != nil {
+		return err
+	}
+	if *met != "" {
+		return cacheReport(out, *met)
+	}
+	return nil
+}
+
+// cacheReport reads a metrics snapshot and prints the performance
+// plane's effectiveness: discovery-cache and compatibility-memo hit
+// rates, plus the registry mutation epoch the cache keyed off.
+func cacheReport(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	c := map[string]uint64{}
+	for _, cv := range snap.Counters {
+		c[cv.Name] = cv.Value
+	}
+	rate := func(hits, misses uint64) string {
+		if hits+misses == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	fmt.Fprintf(out, "\nhot-path caches:\n")
+	fmt.Fprintf(out, "  discovery cache:  %d hits, %d misses (%s hit rate), %d epoch bumps\n",
+		c["discovery.cache_hits"], c["discovery.cache_misses"],
+		rate(c["discovery.cache_hits"], c["discovery.cache_misses"]),
+		c["discovery.epoch_bumps"])
+	fmt.Fprintf(out, "  feed memo:        %d hits, %d misses (%s hit rate)\n",
+		c["compose.memo_feed_hits"], c["compose.memo_feed_misses"],
+		rate(c["compose.memo_feed_hits"], c["compose.memo_feed_misses"]))
+	fmt.Fprintf(out, "  user-QoS memo:    %d hits, %d misses (%s hit rate)\n",
+		c["compose.memo_user_hits"], c["compose.memo_user_misses"],
+		rate(c["compose.memo_user_hits"], c["compose.memo_user_misses"]))
+	return nil
 }
 
 // summarize prints the per-stage outcome aggregation of the whole trace.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -120,5 +121,55 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-req", "9", empty}, &out); err == nil {
 		t.Fatal("unknown request ID accepted")
+	}
+}
+
+func TestCacheReport(t *testing.T) {
+	cfg := sim.DefaultConfig(5, sim.QSA, 300)
+	cfg.RequestRate = 20
+	cfg.Duration = 4
+	var tel bytes.Buffer
+	cfg.TelemetryOut = &tel
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	telPath := filepath.Join(dir, "run.tel.jsonl")
+	if err := os.WriteFile(telPath, tel.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metPath := filepath.Join(dir, "run.metrics.json")
+	if err := os.WriteFile(metPath, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", metPath, telPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "hot-path caches:") ||
+		!strings.Contains(got, "discovery cache:") ||
+		!strings.Contains(got, "feed memo:") {
+		t.Fatalf("cache section missing from:\n%s", got)
+	}
+	if strings.Contains(got, "0 hits, 0 misses (n/a hit rate), 0 epoch bumps") {
+		t.Fatalf("cache counters never moved:\n%s", got)
+	}
+	// A broken snapshot is an error, not a silent skip.
+	badMet := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badMet, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-metrics", badMet, telPath}, &out); err == nil {
+		t.Fatal("truncated metrics snapshot accepted")
+	}
+	if err := run([]string{"-metrics", filepath.Join(dir, "missing.json"), telPath}, &out); err == nil {
+		t.Fatal("missing metrics snapshot accepted")
 	}
 }

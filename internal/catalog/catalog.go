@@ -97,6 +97,13 @@ type Catalog struct {
 	Apps      []*service.Application
 	Instances map[service.Name][]*service.Instance
 	order     []service.Name // deterministic service iteration order
+
+	// userQoS holds one immutable requirement vector per QoS level, built
+	// once at generation time. UserQoS hands out these shared vectors, so
+	// two requests at the same level carry pointer-identical requirements —
+	// which is what lets compose.Memo key user-satisfaction checks by
+	// backing array instead of re-comparing vector contents.
+	userQoS map[qos.Level]qos.Vector
 }
 
 // New generates a catalog from cfg. Generation is deterministic in
@@ -116,7 +123,14 @@ func New(cfg Config) (*Catalog, error) {
 		return nil, fmt.Errorf("catalog: no formats")
 	}
 	rng := xrand.New(cfg.Seed).SplitLabeled("catalog")
-	c := &Catalog{cfg: cfg, Instances: make(map[service.Name][]*service.Instance)}
+	c := &Catalog{
+		cfg:       cfg,
+		Instances: make(map[service.Name][]*service.Instance),
+		userQoS:   make(map[qos.Level]qos.Vector, len(qos.Levels)),
+	}
+	for _, l := range qos.Levels {
+		c.userQoS[l] = buildUserQoS(l)
+	}
 	for a := 0; a < cfg.Apps; a++ {
 		hops := rng.IntRange(cfg.MinHops, cfg.MaxHops)
 		app := &service.Application{ID: fmt.Sprintf("app%d", a)}
@@ -193,15 +207,27 @@ func (c *Catalog) ProviderCount(rng *xrand.Source, population int) int {
 	return n
 }
 
-// UserQoS builds the sink-side QoS requirement for a request: the final
+// buildUserQoS constructs the sink-side requirement vector for one level.
+func buildUserQoS(level qos.Level) qos.Vector {
+	return qos.MustVector(
+		qos.Range("rate", levelMinRate(level), 1e9),
+	)
+}
+
+// UserQoS returns the sink-side QoS requirement for a request: the final
 // component must sustain a rate no lower than the level's minimum. The
 // user side is format-agnostic (the user-side player consumes whatever the
 // final component emits); format consistency constrains the edges BETWEEN
 // components, where the satisfy relation's symbolic-equality case bites.
+//
+// The returned vector is shared per level and must be treated as
+// immutable — all requests at a level alias one backing array, making the
+// vector a pointer-identity memo key downstream.
 func (c *Catalog) UserQoS(rng *xrand.Source, level qos.Level) qos.Vector {
-	return qos.MustVector(
-		qos.Range("rate", levelMinRate(level), 1e9),
-	)
+	if v, ok := c.userQoS[level]; ok {
+		return v
+	}
+	return buildUserQoS(level)
 }
 
 // SampleRequest draws one user request: a uniform application, a uniform

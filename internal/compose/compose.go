@@ -58,6 +58,33 @@ type Config struct {
 	// Obs receives composition work counters (graph size, Dijkstra
 	// relaxations). The zero value disables the accounting.
 	Obs obs.ComposeCounters
+	// Memo caches QoS-compatibility outcomes across composition runs (nil:
+	// every check is evaluated).
+	Memo *Memo
+	// Scratch reuses the composer's working buffers across runs (nil:
+	// buffers are allocated per run). Not safe for concurrent use.
+	Scratch *Scratch
+}
+
+// Scratch holds the reusable working memory of one composition pipeline:
+// the Dijkstra node slab, layer offsets, the priority-queue backing array,
+// and per-layer candidate-order buffers for the backtracking baselines.
+// The zero value is ready to use; buffers grow to the high-water mark and
+// are then reused allocation-free. A Scratch serves one goroutine.
+type Scratch struct {
+	slab  []node
+	off   []int
+	heap  nodeHeap
+	perms [][]int
+}
+
+// NewScratch returns an empty scratch arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (s *Scratch) ensurePerms(k int) {
+	for len(s.perms) < k {
+		s.perms = append(s.perms, nil)
+	}
 }
 
 func (c *Config) fillDefaults() {
@@ -166,7 +193,10 @@ func validateLayers(layers [][]*service.Instance) error {
 }
 
 // QCS composes the QoS-consistent, resource-shortest service path for the
-// layered candidates and the user's end-to-end QoS requirement.
+// layered candidates and the user's end-to-end QoS requirement. With
+// cfg.Scratch set the node graph and priority queue live in reused
+// buffers; with cfg.Memo set the compatibility checks are served from the
+// memo — neither changes the result.
 func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, error) {
 	if err := validateLayers(layers); err != nil {
 		return nil, err
@@ -174,25 +204,45 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 	cfg.fillDefaults()
 	cfg.Obs.Runs.Inc()
 
-	nodes := make([][]*node, len(layers))
-	for k := range layers {
-		nodes[k] = make([]*node, len(layers[k]))
-		for i := range layers[k] {
-			nodes[k][i] = &node{layer: k, idx: i, dist: -1, heapIdx: -1}
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	total := 0
+	for _, layer := range layers {
+		total += len(layer)
+	}
+	// Size the slab before taking node pointers: the graph must not grow
+	// (and relocate) once *node handles exist.
+	if cap(sc.slab) < total {
+		sc.slab = make([]node, total)
+	}
+	sc.slab = sc.slab[:total]
+	if cap(sc.off) < len(layers) {
+		sc.off = make([]int, len(layers))
+	}
+	sc.off = sc.off[:len(layers)]
+	at := 0
+	for k, layer := range layers {
+		sc.off[k] = at
+		for i := range layer {
+			sc.slab[at] = node{layer: k, idx: i, dist: -1, heapIdx: -1}
+			at++
 		}
-		cfg.Obs.Vertices.Add(uint64(len(layers[k])))
+		cfg.Obs.Vertices.Add(uint64(len(layer)))
 	}
 
-	h := &nodeHeap{}
+	sc.heap = sc.heap[:0]
+	h := &sc.heap
 	last := len(layers) - 1
 	// Seed: edges from the virtual user node to final-layer instances whose
 	// Qout satisfies the user requirement.
 	for i, in := range layers[last] {
-		if !qos.Satisfies(in.Qout, userQoS) {
+		if !cfg.Memo.SatisfiesUser(in, userQoS) {
 			continue
 		}
 		cfg.Obs.Edges.Inc()
-		n := nodes[last][i]
+		n := &sc.slab[sc.off[last]+i]
 		n.dist = cfg.EdgeCost(in)
 		cfg.Obs.Relaxations.Inc()
 		heap.Push(h, n)
@@ -214,11 +264,11 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 		}
 		curInst := layers[cur.layer][cur.idx]
 		for j, pred := range layers[cur.layer-1] {
-			if !pred.CanFeed(curInst) {
+			if !cfg.Memo.CanFeed(pred, curInst) {
 				continue
 			}
 			cfg.Obs.Edges.Inc()
-			n := nodes[cur.layer-1][j]
+			n := &sc.slab[sc.off[cur.layer-1]+j]
 			if n.settled {
 				continue
 			}
@@ -240,24 +290,26 @@ func QCS(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path, e
 }
 
 // backtrack builds a consistent path visiting layers from the user side
-// toward the source, trying predecessors in the order given by pick.
-// chosen is filled in reverse (index last..0).
-func backtrack(layers [][]*service.Instance, userQoS qos.Vector,
-	chosen []*service.Instance, layer int, order func(n int) []int) bool {
+// toward the source, trying candidates in the order given by order (which
+// may reuse a per-layer buffer: re-entries to a layer only happen after
+// the previous iteration at that layer has fully unwound). chosen is
+// filled in reverse (index last..0).
+func backtrack(layers [][]*service.Instance, userQoS qos.Vector, memo *Memo,
+	chosen []*service.Instance, layer int, order func(layer, n int) []int) bool {
 	if layer < 0 {
 		return true
 	}
-	for _, i := range order(len(layers[layer])) {
+	for _, i := range order(layer, len(layers[layer])) {
 		cand := layers[layer][i]
 		if layer == len(layers)-1 {
-			if !qos.Satisfies(cand.Qout, userQoS) {
+			if !memo.SatisfiesUser(cand, userQoS) {
 				continue
 			}
-		} else if !cand.CanFeed(chosen[layer+1]) {
+		} else if !memo.CanFeed(cand, chosen[layer+1]) {
 			continue
 		}
 		chosen[layer] = cand
-		if backtrack(layers, userQoS, chosen, layer-1, order) {
+		if backtrack(layers, userQoS, memo, chosen, layer-1, order) {
 			return true
 		}
 	}
@@ -272,8 +324,16 @@ func Random(layers [][]*service.Instance, userQoS qos.Vector, rng *xrand.Source,
 		return nil, err
 	}
 	cfg.fillDefaults()
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensurePerms(len(layers))
 	chosen := make([]*service.Instance, len(layers))
-	ok := backtrack(layers, userQoS, chosen, len(layers)-1, func(n int) []int { return rng.Perm(n) })
+	ok := backtrack(layers, userQoS, cfg.Memo, chosen, len(layers)-1, func(layer, n int) []int {
+		sc.perms[layer] = rng.PermInto(sc.perms[layer], n)
+		return sc.perms[layer]
+	})
 	if !ok {
 		return nil, ErrNoConsistentPath
 	}
@@ -289,13 +349,23 @@ func Fixed(layers [][]*service.Instance, userQoS qos.Vector, cfg Config) (*Path,
 		return nil, err
 	}
 	cfg.fillDefaults()
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensurePerms(len(layers))
 	chosen := make([]*service.Instance, len(layers))
-	ok := backtrack(layers, userQoS, chosen, len(layers)-1, func(n int) []int {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
+	ok := backtrack(layers, userQoS, cfg.Memo, chosen, len(layers)-1, func(layer, n int) []int {
+		p := sc.perms[layer]
+		if cap(p) < n {
+			p = make([]int, n)
 		}
-		return idx
+		p = p[:n]
+		for i := range p {
+			p[i] = i
+		}
+		sc.perms[layer] = p
+		return p
 	})
 	if !ok {
 		return nil, ErrNoConsistentPath

@@ -141,7 +141,23 @@ func StageOf(err error) Stage {
 	return StageNone
 }
 
-// Aggregator is the integrated QSA engine over a grid's subsystems.
+// aggScratch is the aggregation pipeline's reusable working memory: the
+// discovery result, per-hop provider buffers, and the retry-excluded
+// layer double buffer all live here and are recycled across Aggregate
+// calls, so the steady-state request path performs no slice or map
+// allocations of its own.
+type aggScratch struct {
+	disc      Discovery
+	providers [][]topology.PeerID
+	// retry alternates between two layer buffers: attempt n+1's filtered
+	// layers are built while attempt n's (the source of the filter) are
+	// still referenced, so a single buffer would alias itself.
+	retry [2][][]*service.Instance
+}
+
+// Aggregator is the integrated QSA engine over a grid's subsystems. It is
+// single-goroutine, like the simulation driving it: the scratch buffers,
+// the RNG, and the tracer are all unsynchronized.
 type Aggregator struct {
 	Registry *registry.Registry
 	Sessions *session.Manager
@@ -167,6 +183,8 @@ type Aggregator struct {
 	// join the caller's request span; it is never read when Tracer is
 	// nil.
 	ReqID uint64
+
+	sc aggScratch
 }
 
 // stageName maps a pipeline stage onto the obs trace vocabulary.
@@ -194,42 +212,71 @@ func EventStage(err error) string {
 type Discovery struct {
 	Layers  [][]*service.Instance
 	Entries [][]*registry.InstanceEntry
+
+	// byInst indexes every discovered entry by its instance, so Providers
+	// is a map probe instead of a per-call layer scan. Instances are
+	// registry-unique, so one flat index covers all layers.
+	byInst map[*service.Instance]*registry.InstanceEntry
 }
 
 // Discover performs the DHT lookups for the request's abstract path from
 // the user's peer.
 func (a *Aggregator) Discover(user topology.PeerID, path []service.Name, now float64) (*Discovery, error) {
-	d := &Discovery{
-		Layers:  make([][]*service.Instance, len(path)),
-		Entries: make([][]*registry.InstanceEntry, len(path)),
-	}
-	for k, name := range path {
-		es, _, err := a.Registry.Lookup(user, name, now)
-		if err != nil {
-			return nil, &ErrAggregation{StageDiscovery, err}
-		}
-		if len(es) == 0 {
-			return nil, &ErrAggregation{StageDiscovery, fmt.Errorf("no candidates for %q", name)}
-		}
-		d.Entries[k] = es
-		layer := make([]*service.Instance, len(es))
-		for i, e := range es {
-			layer[i] = e.Inst
-		}
-		d.Layers[k] = layer
+	d := &Discovery{}
+	if err := a.discoverInto(d, user, path, now); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
-// Providers returns the live provider peers of the chosen instance at
-// layer k of the discovery.
-func (d *Discovery) Providers(k int, inst *service.Instance, now float64) []topology.PeerID {
-	for _, e := range d.Entries[k] {
-		if e.Inst == inst {
-			return e.Providers(now, nil)
+// discoverInto runs the lookups into d, reusing whatever buffers d
+// already holds.
+func (a *Aggregator) discoverInto(d *Discovery, user topology.PeerID, path []service.Name, now float64) error {
+	for len(d.Layers) < len(path) {
+		d.Layers = append(d.Layers, nil)
+		d.Entries = append(d.Entries, nil)
+	}
+	d.Layers = d.Layers[:len(path)]
+	d.Entries = d.Entries[:len(path)]
+	if d.byInst == nil {
+		d.byInst = make(map[*service.Instance]*registry.InstanceEntry)
+	} else {
+		clear(d.byInst)
+	}
+	for k, name := range path {
+		es, _, err := a.Registry.Lookup(user, name, now)
+		if err != nil {
+			return &ErrAggregation{StageDiscovery, err}
 		}
+		if len(es) == 0 {
+			return &ErrAggregation{StageDiscovery, fmt.Errorf("no candidates for %q", name)}
+		}
+		d.Entries[k] = es
+		layer := d.Layers[k][:0]
+		for _, e := range es {
+			layer = append(layer, e.Inst)
+			d.byInst[e.Inst] = e
+		}
+		d.Layers[k] = layer
 	}
 	return nil
+}
+
+// Providers appends to dst the live provider peers of the chosen instance
+// at layer k of the discovery and returns dst.
+func (d *Discovery) Providers(k int, inst *service.Instance, now float64, dst []topology.PeerID) []topology.PeerID {
+	if d.byInst != nil {
+		if e, ok := d.byInst[inst]; ok {
+			return e.Providers(now, dst)
+		}
+		return dst
+	}
+	for _, e := range d.Entries[k] {
+		if e.Inst == inst {
+			return e.Providers(now, dst)
+		}
+	}
+	return dst
 }
 
 // Aggregate runs the full pipeline for one request. On success it returns
@@ -241,8 +288,8 @@ func (a *Aggregator) Aggregate(user topology.PeerID, req *service.Request,
 	if err := req.Validate(); err != nil {
 		return nil, &ErrAggregation{StageDiscovery, err}
 	}
-	disc, err := a.Discover(user, req.App.Path, now)
-	if err != nil {
+	disc := &a.sc.disc
+	if err := a.discoverInto(disc, user, req.App.Path, now); err != nil {
 		return nil, err
 	}
 
@@ -262,17 +309,25 @@ func (a *Aggregator) Aggregate(user topology.PeerID, req *service.Request,
 			return nil, err // compose failures cannot improve by retrying
 		}
 		// Exclude the failed path's instances and recompose over the rest.
-		next := make([][]*service.Instance, len(layers))
+		next := a.sc.retry[attempt%2]
+		for len(next) < len(layers) {
+			next = append(next, nil)
+		}
+		next = next[:len(layers)]
 		for k := range layers {
+			nk := next[k][:0]
 			for _, in := range layers[k] {
 				if in != path.Instances[k] {
-					next[k] = append(next[k], in)
+					nk = append(nk, in)
 				}
 			}
-			if len(next[k]) == 0 {
+			next[k] = nk
+			if len(nk) == 0 {
+				a.sc.retry[attempt%2] = next
 				return nil, err // a layer ran out of candidates
 			}
 		}
+		a.sc.retry[attempt%2] = next
 		layers = next
 	}
 	return nil, lastErr
@@ -309,9 +364,12 @@ func (a *Aggregator) attempt(user topology.PeerID, req *service.Request, now flo
 			Path: ids, Cost: path.Cost, OK: true})
 	}
 
-	providers := make([][]topology.PeerID, len(path.Instances))
+	for len(a.sc.providers) < len(path.Instances) {
+		a.sc.providers = append(a.sc.providers, nil)
+	}
+	providers := a.sc.providers[:len(path.Instances)]
 	for k, inst := range path.Instances {
-		providers[k] = disc.Providers(k, inst, now)
+		providers[k] = disc.Providers(k, inst, now, providers[k][:0])
 		if len(providers[k]) == 0 {
 			return nil, path, &ErrAggregation{StageSelection, fmt.Errorf("no live providers for %s", inst.ID)}
 		}

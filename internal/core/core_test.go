@@ -301,3 +301,77 @@ func TestUnknownComposer(t *testing.T) {
 		t.Fatalf("stage = %v", StageOf(err))
 	}
 }
+
+// pids collects a provider set into a comparable string-keyed map.
+func pidSet(ps []topology.PeerID) map[topology.PeerID]bool {
+	m := make(map[topology.PeerID]bool, len(ps))
+	for _, p := range ps {
+		m[p] = true
+	}
+	return m
+}
+
+// TestProvidersTTLConsistentAcrossRetries pins the retry contract of the
+// discovery snapshot: every attempt of one Aggregate call evaluates
+// provider liveness against the same clock, so repeated Providers queries
+// on a Discovery return identical, TTL-filtered sets — through the
+// instance index and through the linear fallback alike — and a later
+// clock sees expirations without a fresh lookup.
+func TestProvidersTTLConsistentAcrossRetries(t *testing.T) {
+	f := newFixture(t)
+	// One late registration: peer 20 joins src#0's provider set at t=5,
+	// so it expires at 15 while the t=0 registrations expire at 10.
+	disc0, err := f.agg.Discover(0, f.app.Path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src0 := disc0.Layers[0][0]
+	if err := f.reg.Register(0, src0, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	disc, err := f.agg.Discover(0, f.app.Path, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := disc.Layers[0][0]
+	first := disc.Providers(0, inst, 6, nil)
+	if !pidSet(first)[20] || len(first) != 5 {
+		t.Fatalf("expected 4 original + late provider at t=6, got %v", first)
+	}
+	// Simulated retry attempts: same snapshot, same clock, reused buffer.
+	buf := first
+	for attempt := 0; attempt < 3; attempt++ {
+		buf = disc.Providers(0, inst, 6, buf[:0])
+		if len(buf) != len(first) {
+			t.Fatalf("attempt %d saw %v, first attempt saw %v", attempt, buf, first)
+		}
+		for i := range buf {
+			if buf[i] != first[i] {
+				t.Fatalf("attempt %d saw %v, first attempt saw %v", attempt, buf, first)
+			}
+		}
+	}
+	// The index path and the linear-scan fallback must agree exactly.
+	linear := Discovery{Layers: disc.Layers, Entries: disc.Entries}
+	lin := linear.Providers(0, inst, 6, nil)
+	if len(lin) != len(first) {
+		t.Fatalf("index %v vs linear fallback %v", first, lin)
+	}
+	for i := range lin {
+		if lin[i] != first[i] {
+			t.Fatalf("index %v vs linear fallback %v", first, lin)
+		}
+	}
+	// Past the original TTL horizon only the late registration survives,
+	// with no re-discovery needed.
+	late := disc.Providers(0, inst, 12, nil)
+	if len(late) != 1 || late[0] != 20 {
+		t.Fatalf("expected only the late provider past t=10, got %v", late)
+	}
+	// An unknown instance yields the empty set, not a panic.
+	ghost := &service.Instance{ID: "ghost", Service: "src"}
+	if got := disc.Providers(0, ghost, 6, nil); len(got) != 0 {
+		t.Fatalf("unknown instance returned %v", got)
+	}
+}

@@ -50,6 +50,12 @@ type Scale struct {
 	// the mean ψ (and its standard deviation) across replicas. 0 or 1 runs
 	// each cell once, like the paper.
 	Repeats int
+
+	// DisableCaches turns off the hot-path performance plane (the epoch
+	// lookup cache and the compatibility memo) in every run. Results are
+	// identical either way — the flag exists to measure the plane's cost,
+	// not to change outcomes.
+	DisableCaches bool
 }
 
 // PaperScale reproduces the paper's full evaluation parameters.
@@ -109,6 +115,7 @@ func (s Scale) baseConfig(alg sim.Algorithm, rate, churn, duration float64) sim.
 	if cfg.SampleWindow == 0 {
 		cfg.SampleWindow = 2
 	}
+	cfg.DisableCaches = s.DisableCaches
 	return cfg
 }
 

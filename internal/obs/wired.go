@@ -50,6 +50,45 @@ func NewSelectionCounters(reg *Registry) SelectionCounters {
 	}
 }
 
+// DiscoveryCounters tracks the registry's epoch-cached lookup plane:
+// real DHT lookups, cache hits/misses, and mutation-epoch bumps.
+type DiscoveryCounters struct {
+	Lookups     *Counter // lookups routed through the DHT (cache misses included)
+	CacheHits   *Counter // lookups served from the epoch cache
+	CacheMisses *Counter // lookups that had to fall through to the DHT
+	EpochBumps  *Counter // registry mutations that invalidated the cache
+}
+
+// NewDiscoveryCounters wires the bundle into reg.
+func NewDiscoveryCounters(reg *Registry) DiscoveryCounters {
+	return DiscoveryCounters{
+		Lookups:     reg.Counter("discovery.lookups"),
+		CacheHits:   reg.Counter("discovery.cache_hits"),
+		CacheMisses: reg.Counter("discovery.cache_misses"),
+		EpochBumps:  reg.Counter("discovery.epoch_bumps"),
+	}
+}
+
+// MemoCounters tracks the memoized QoS-compatibility graph (compose.Memo):
+// hit/miss counts for inter-instance CanFeed edges and for final-layer
+// user-requirement checks.
+type MemoCounters struct {
+	FeedHits   *Counter
+	FeedMisses *Counter
+	UserHits   *Counter
+	UserMisses *Counter
+}
+
+// NewMemoCounters wires the bundle into reg.
+func NewMemoCounters(reg *Registry) MemoCounters {
+	return MemoCounters{
+		FeedHits:   reg.Counter("compose.memo_feed_hits"),
+		FeedMisses: reg.Counter("compose.memo_feed_misses"),
+		UserHits:   reg.Counter("compose.memo_user_hits"),
+		UserMisses: reg.Counter("compose.memo_user_misses"),
+	}
+}
+
 // ProbeCounters mirrors probe.Stats into a registry.
 type ProbeCounters struct {
 	Probes    *Counter

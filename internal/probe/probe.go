@@ -55,33 +55,72 @@ type entry struct {
 	probed  bool
 }
 
+// orderSlot is one insertion-order cell of a table: the neighbor and its
+// entry inline, or a tombstone (pid == tombstonePID) left by a removal.
+type orderSlot struct {
+	pid topology.PeerID
+	e   *entry
+}
+
+const tombstonePID topology.PeerID = -1
+
 // Table is one peer's neighbor table, capped at M entries. Insertion order
 // is tracked so that eviction scans are deterministic (Go map iteration
-// order is randomized, which would break run reproducibility).
+// order is randomized, which would break run reproducibility). The order
+// slice carries the entries inline and removals leave tombstones, so both
+// lookups and removals are O(1) and the eviction scan is one contiguous
+// walk with no map probes; tombstones are compacted once they outnumber
+// live slots.
 type Table struct {
-	cap     int
-	entries map[topology.PeerID]*entry
-	order   []topology.PeerID
+	cap   int
+	pos   map[topology.PeerID]int // pid -> index in order
+	order []orderSlot
+	dead  int // tombstones in order
 }
 
 func (t *Table) insert(p topology.PeerID, e *entry) {
-	t.entries[p] = e
-	t.order = append(t.order, p)
+	t.pos[p] = len(t.order)
+	t.order = append(t.order, orderSlot{pid: p, e: e})
 }
 
 func (t *Table) remove(p topology.PeerID) {
-	delete(t.entries, p)
-	for i, q := range t.order {
-		if q == p {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			return
-		}
+	i, ok := t.pos[p]
+	if !ok {
+		return
 	}
+	t.order[i] = orderSlot{pid: tombstonePID}
+	delete(t.pos, p)
+	t.dead++
+	if t.dead > len(t.order)-t.dead {
+		t.compact()
+	}
+}
+
+// compact squeezes tombstones out of order, preserving insertion order.
+func (t *Table) compact() {
+	kept := t.order[:0]
+	for _, s := range t.order {
+		if s.pid == tombstonePID {
+			continue
+		}
+		t.pos[s.pid] = len(kept)
+		kept = append(kept, s)
+	}
+	t.order = kept
+	t.dead = 0
+}
+
+// lookup returns the entry for p, or nil.
+func (t *Table) lookup(p topology.PeerID) *entry {
+	if i, ok := t.pos[p]; ok {
+		return t.order[i].e
+	}
+	return nil
 }
 
 // Len returns the number of neighbors currently tracked (including
 // expired-but-not-yet-evicted ones).
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return len(t.pos) }
 
 // Stats counts manager-wide probing activity.
 type Stats struct {
@@ -147,7 +186,7 @@ func (m *Manager) Config() Config { return m.cfg }
 func (m *Manager) Table(owner topology.PeerID) *Table {
 	t, ok := m.tables[owner]
 	if !ok {
-		t = &Table{cap: m.cfg.M, entries: make(map[topology.PeerID]*entry)}
+		t = &Table{cap: m.cfg.M, pos: make(map[topology.PeerID]int)}
 		m.tables[owner] = t
 	}
 	return t
@@ -157,7 +196,9 @@ func (m *Manager) Table(owner topology.PeerID) *Table {
 func (m *Manager) DropPeer(owner topology.PeerID) { delete(m.tables, owner) }
 
 // measure takes a fresh measurement of target from owner's perspective.
-func (m *Manager) measure(owner, target topology.PeerID, now float64) Info {
+// reuse, when non-nil, donates its backing array to the measurement's
+// availability vector (a refresh recycles the entry's previous one).
+func (m *Manager) measure(owner, target topology.PeerID, now float64, reuse resource.Vector) Info {
 	m.stats.Probes++
 	m.Obs.Probes.Inc()
 	p, err := m.net.Peer(target)
@@ -165,7 +206,7 @@ func (m *Manager) measure(owner, target topology.PeerID, now float64) Info {
 		return Info{Alive: false, Measured: now}
 	}
 	return Info{
-		Available: p.Ledger.Available(),
+		Available: p.Ledger.AvailableInto(reuse[:0]),
 		Uptime:    p.Uptime(now),
 		AvailKbps: m.net.BandwidthLedger().Available(int(target), int(owner)),
 		Alive:     true,
@@ -184,9 +225,9 @@ func (m *Manager) Resolve(owner topology.PeerID, candidates []topology.PeerID, r
 		if c == owner {
 			continue
 		}
-		e, ok := t.entries[c]
-		if !ok {
-			if len(t.entries) >= t.cap && !m.evictFor(t, rank, now) {
+		e := t.lookup(c)
+		if e == nil {
+			if t.Len() >= t.cap && !m.evictFor(t, rank, now) {
 				m.stats.Rejected++
 				m.Obs.Rejected.Inc()
 				continue
@@ -199,7 +240,7 @@ func (m *Manager) Resolve(owner topology.PeerID, candidates []topology.PeerID, r
 		}
 		e.expires = now + m.cfg.TTL
 		if !e.probed || now-e.info.Measured >= m.cfg.Period {
-			e.info = m.measure(owner, c, now)
+			e.info = m.measure(owner, c, now, e.info.Available)
 			e.probed = true
 		} else {
 			m.stats.CacheHits++
@@ -214,14 +255,16 @@ func (m *Manager) Resolve(owner topology.PeerID, candidates []topology.PeerID, r
 func (m *Manager) evictFor(t *Table, rank Rank, now float64) bool {
 	var victim topology.PeerID
 	found := false
-	for _, p := range t.order {
-		e := t.entries[p]
-		if e.expires <= now {
-			victim, found = p, true
+	for _, s := range t.order {
+		if s.pid == tombstonePID {
+			continue
+		}
+		if s.e.expires <= now {
+			victim, found = s.pid, true
 			break
 		}
-		if e.rank > rank && !found {
-			victim, found = p, true
+		if s.e.rank > rank && !found {
+			victim, found = s.pid, true
 			// keep scanning: an expired entry is a better victim
 		}
 	}
@@ -236,14 +279,17 @@ func (m *Manager) evictFor(t *Table, rank Rank, now float64) bool {
 
 // Fresh returns owner's usable measurement of candidate: the entry must
 // exist, be unexpired soft state, and have been probed. The caller decides
-// what to do on a miss (the paper: fall back to random selection).
+// what to do on a miss (the paper: fall back to random selection). The
+// Info's Available vector aliases the table entry and is overwritten by
+// the next re-probe — consume it before the clock advances, don't retain
+// it.
 func (m *Manager) Fresh(owner, candidate topology.PeerID, now float64) (Info, bool) {
 	t, ok := m.tables[owner]
 	if !ok {
 		return Info{}, false
 	}
-	e, ok := t.entries[candidate]
-	if !ok || !e.probed || e.expires <= now {
+	e := t.lookup(candidate)
+	if e == nil || !e.probed || e.expires <= now {
 		return Info{}, false
 	}
 	return e.info, true

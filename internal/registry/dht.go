@@ -34,10 +34,18 @@ type DHTNode interface {
 	Alive() bool
 }
 
-// LookupStats is the DHT-independent routing statistics view.
+// LookupStats is the DHT-independent routing statistics view. Lookups and
+// TotalHops count real DHT traversals; the remaining fields are filled by
+// the registry's epoch cache (DHT adapters leave them zero) — cache hits
+// skip routing entirely and are never counted as Lookups, so hop averages
+// stay attributed to real traversals only.
 type LookupStats struct {
 	Lookups   uint64
 	TotalHops uint64
+
+	CacheHits   uint64 // lookups served from the registry's epoch cache
+	CacheMisses uint64 // lookups that fell through to the DHT
+	Epoch       uint64 // the registry's mutation epoch at snapshot time
 }
 
 // MeanHops returns the average routing hops per lookup.

@@ -19,42 +19,115 @@ package registry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/chord"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
+// providerReg is one soft-state provider registration.
+type providerReg struct {
+	pid     topology.PeerID
+	expires float64
+}
+
 // InstanceEntry is the registry record for one service instance: its
-// QoS/resource specification plus the soft-state provider set.
+// QoS/resource specification plus the soft-state provider set. Provider
+// registrations are kept as a contiguous slice sorted by ascending PeerID
+// (the registry's deterministic order), with a side index for O(1)
+// refresh — the hot paths (Providers, expiry pruning) are straight array
+// walks with no map iteration and no per-call sort.
 type InstanceEntry struct {
-	Inst      *service.Instance
-	providers map[topology.PeerID]float64 // peer -> expiry time
+	Inst  *service.Instance
+	provs []providerReg           // ascending pid
+	idx   map[topology.PeerID]int // pid -> index in provs
+}
+
+// upsert records (or refreshes) a provider registration.
+func (e *InstanceEntry) upsert(p topology.PeerID, expires float64) {
+	if i, ok := e.idx[p]; ok {
+		e.provs[i].expires = expires
+		return
+	}
+	at := sort.Search(len(e.provs), func(i int) bool { return e.provs[i].pid >= p })
+	e.provs = append(e.provs, providerReg{})
+	copy(e.provs[at+1:], e.provs[at:])
+	e.provs[at] = providerReg{pid: p, expires: expires}
+	e.idx[p] = at
+	for i := at + 1; i < len(e.provs); i++ {
+		e.idx[e.provs[i].pid] = i
+	}
+}
+
+// drop removes a provider registration if present.
+func (e *InstanceEntry) drop(p topology.PeerID) {
+	i, ok := e.idx[p]
+	if !ok {
+		return
+	}
+	copy(e.provs[i:], e.provs[i+1:])
+	e.provs = e.provs[:len(e.provs)-1]
+	delete(e.idx, p)
+	for ; i < len(e.provs); i++ {
+		e.idx[e.provs[i].pid] = i
+	}
+}
+
+// pruneExpired drops registrations whose expiry is at or before now.
+func (e *InstanceEntry) pruneExpired(now float64) {
+	kept := e.provs[:0]
+	for _, r := range e.provs {
+		if r.expires > now {
+			kept = append(kept, r)
+		} else {
+			delete(e.idx, r.pid)
+		}
+	}
+	if len(kept) < len(e.provs) {
+		e.provs = kept
+		for i, r := range e.provs {
+			e.idx[r.pid] = i
+		}
+	}
 }
 
 // Providers appends to dst the peers whose registration is live at time
 // now, in ascending PeerID order (deterministic), and returns dst.
 func (e *InstanceEntry) Providers(now float64, dst []topology.PeerID) []topology.PeerID {
-	for p, exp := range e.providers {
-		if exp > now {
-			dst = append(dst, p)
+	for _, r := range e.provs {
+		if r.expires > now {
+			dst = append(dst, r.pid)
 		}
 	}
-	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
 	return dst
 }
 
 // ProviderCount returns the number of live registrations at time now.
 func (e *InstanceEntry) ProviderCount(now float64) int {
 	c := 0
-	for _, exp := range e.providers {
-		if exp > now {
+	for _, r := range e.provs {
+		if r.expires > now {
 			c++
 		}
 	}
 	return c
+}
+
+// minExpiry returns the earliest live-registration expiry after now, or
+// +Inf when none is live — the time at which this entry's provider set
+// next changes without a registry mutation.
+func (e *InstanceEntry) minExpiry(now float64) float64 {
+	min := math.Inf(1)
+	for _, r := range e.provs {
+		if r.expires > now && r.expires < min {
+			min = r.expires
+		}
+	}
+	return min
 }
 
 // Config parameterizes the registry.
@@ -68,6 +141,10 @@ type Config struct {
 	// DHT overrides the lookup substrate (default: a Chord ring built
 	// from the Chord config; internal/can provides the alternative).
 	DHT DHT
+	// DisableCache turns off the epoch-keyed lookup cache, forcing every
+	// Lookup through the DHT. Results are byte-identical either way (the
+	// differential suite asserts this); only routing statistics differ.
+	DisableCache bool
 }
 
 func (c *Config) fillDefaults() {
@@ -76,12 +153,33 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// cachedLookup is one epoch-cache slot: the Lookup result for a service
+// name, valid while the registry epoch is unchanged AND the virtual clock
+// has not crossed the earliest provider expiry in the result (the TTL
+// horizon) — past either boundary the uncached result could differ.
+type cachedLookup struct {
+	epoch      uint64
+	validUntil float64 // earliest provider expiry across the entries
+	entries    []*InstanceEntry
+}
+
 // Registry binds peers to DHT nodes and stores instance/provider records.
 type Registry struct {
 	cfg   Config
 	dht   DHT
 	nodes map[topology.PeerID]DHTNode
 	rng   *xrand.Source
+
+	// epoch is the monotonic mutation counter: every Register, Unregister,
+	// peer join and peer leave bumps it, invalidating the lookup cache.
+	epoch uint64
+	cache map[service.Name]*cachedLookup
+
+	cacheHits, cacheMisses uint64
+
+	// Obs mirrors cache activity into a metrics registry when wired; the
+	// zero value no-ops.
+	Obs obs.DiscoveryCounters
 }
 
 // New returns an empty registry.
@@ -96,11 +194,30 @@ func New(cfg Config, seed uint64) *Registry {
 		dht:   dht,
 		nodes: make(map[topology.PeerID]DHTNode),
 		rng:   xrand.New(seed).SplitLabeled("registry"),
+		cache: make(map[service.Name]*cachedLookup),
 	}
 }
 
-// Stats exposes the lookup substrate's routing statistics.
-func (r *Registry) Stats() LookupStats { return r.dht.Stats() }
+// Stats exposes the lookup substrate's routing statistics plus the
+// registry's own cache effectiveness counters. Lookups/TotalHops count
+// real DHT traversals only; cache hits pay no hops and are reported
+// separately.
+func (r *Registry) Stats() LookupStats {
+	s := r.dht.Stats()
+	s.CacheHits = r.cacheHits
+	s.CacheMisses = r.cacheMisses
+	s.Epoch = r.epoch
+	return s
+}
+
+// Epoch returns the current mutation epoch.
+func (r *Registry) Epoch() uint64 { return r.epoch }
+
+// bumpEpoch advances the mutation epoch, invalidating every cache slot.
+func (r *Registry) bumpEpoch() {
+	r.epoch++
+	r.Obs.EpochBumps.Inc()
+}
 
 // Stabilize asks the lookup substrate to bring all routing state to
 // convergence. Call it after bulk joins (initial grid setup): a real
@@ -127,6 +244,7 @@ func (r *Registry) AddPeer(p topology.PeerID) error {
 		return err
 	}
 	r.nodes[p] = n
+	r.bumpEpoch() // the join may have re-homed stored keys
 	return nil
 }
 
@@ -138,6 +256,7 @@ func (r *Registry) RemovePeer(p topology.PeerID, graceful bool) error {
 		return fmt.Errorf("registry: unknown peer %d", p)
 	}
 	delete(r.nodes, p)
+	r.bumpEpoch() // an abrupt removal may lose stored data
 	return r.dht.Remove(n, graceful)
 }
 
@@ -164,17 +283,14 @@ func (r *Registry) Register(from topology.PeerID, inst *service.Instance, provid
 	if err != nil {
 		return err
 	}
+	r.bumpEpoch()
 	_, err = r.dht.Update(n, serviceKey(inst.Service), inst.ID, func(prev any) any {
 		e, ok := prev.(*InstanceEntry)
 		if !ok || e == nil {
-			e = &InstanceEntry{Inst: inst, providers: make(map[topology.PeerID]float64)}
+			e = &InstanceEntry{Inst: inst, idx: make(map[topology.PeerID]int)}
 		}
-		for p, exp := range e.providers {
-			if exp <= now {
-				delete(e.providers, p)
-			}
-		}
-		e.providers[provider] = now + r.cfg.TTL
+		e.pruneExpired(now)
+		e.upsert(provider, now+r.cfg.TTL)
 		return e
 	})
 	return err
@@ -187,13 +303,14 @@ func (r *Registry) Unregister(from topology.PeerID, inst *service.Instance, prov
 	if err != nil {
 		return err
 	}
+	r.bumpEpoch()
 	_, err = r.dht.Update(n, serviceKey(inst.Service), inst.ID, func(prev any) any {
 		e, ok := prev.(*InstanceEntry)
 		if !ok || e == nil {
 			return nil
 		}
-		delete(e.providers, provider)
-		if len(e.providers) == 0 {
+		e.drop(provider)
+		if len(e.provs) == 0 {
 			return nil
 		}
 		return e
@@ -205,15 +322,33 @@ func (r *Registry) Unregister(from topology.PeerID, inst *service.Instance, prov
 // their live provider sets, by routing a DHT query from peer from. Entries
 // whose provider sets are entirely expired are omitted. The result is
 // sorted by instance ID (deterministic). hops is the DHT routing cost.
+//
+// Results are served from the epoch cache when no registry mutation has
+// occurred since the last real lookup for the same name AND the clock has
+// not crossed the result's earliest provider expiry (so a soft-state
+// lapse can never be masked). Cache hits pay zero hops and are counted in
+// LookupStats.CacheHits, never in Lookups. The returned slice is shared
+// with the cache and other callers: treat it as immutable.
 func (r *Registry) Lookup(from topology.PeerID, name service.Name, now float64) (entries []*InstanceEntry, hops int, err error) {
 	n, err := r.node(from)
 	if err != nil {
 		return nil, 0, err
 	}
+	if !r.cfg.DisableCache {
+		if c, ok := r.cache[name]; ok && c.epoch == r.epoch && now < c.validUntil {
+			r.cacheHits++
+			r.Obs.CacheHits.Inc()
+			return c.entries, 0, nil
+		}
+		r.cacheMisses++
+		r.Obs.CacheMisses.Inc()
+	}
+	r.Obs.Lookups.Inc()
 	items, hops, err := r.dht.Get(n, serviceKey(name))
 	if err != nil {
 		return nil, hops, err
 	}
+	validUntil := math.Inf(1)
 	for _, v := range items {
 		e, ok := v.(*InstanceEntry)
 		if !ok || e == nil {
@@ -222,9 +357,15 @@ func (r *Registry) Lookup(from topology.PeerID, name service.Name, now float64) 
 		if e.ProviderCount(now) == 0 {
 			continue
 		}
+		if m := e.minExpiry(now); m < validUntil {
+			validUntil = m
+		}
 		entries = append(entries, e)
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Inst.ID < entries[j].Inst.ID })
+	if !r.cfg.DisableCache {
+		r.cache[name] = &cachedLookup{epoch: r.epoch, validUntil: validUntil, entries: entries}
+	}
 	return entries, hops, nil
 }
 

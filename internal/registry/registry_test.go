@@ -128,7 +128,7 @@ func TestExpiredCoRegistrationsPruned(t *testing.T) {
 		t.Fatal("live registration lost")
 	}
 	// The prune in Register should have removed peer 0's expired record.
-	if n := len(entries[0].providers); n != 1 {
+	if n := len(entries[0].provs); n != 1 {
 		t.Fatalf("expired co-registration not pruned: %d records", n)
 	}
 }
@@ -234,5 +234,158 @@ func TestTTLDefault(t *testing.T) {
 	r := New(Config{}, 9)
 	if r.TTL() != 10 {
 		t.Fatalf("default TTL = %v, want 10", r.TTL())
+	}
+}
+
+func TestLookupCacheHit(t *testing.T) {
+	r := newReg(t, 20)
+	inst := testInst("svc", 0)
+	if err := r.Register(0, inst, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	first, hops1, err := r.Lookup(5, "svc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, hops2, err := r.Lookup(5, "svc", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops2 != 0 {
+		t.Fatalf("cache hit must pay zero hops, got %d", hops2)
+	}
+	if len(second) != len(first) || second[0] != first[0] {
+		t.Fatal("cache hit must return the identical entries")
+	}
+	s := r.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("stats = hits %d misses %d, want 1/1", s.CacheHits, s.CacheMisses)
+	}
+	_ = hops1
+}
+
+func TestLookupCacheInvalidatedByMutation(t *testing.T) {
+	r := newReg(t, 20)
+	a := testInst("svc", 0)
+	if err := r.Register(0, a, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Lookup(5, "svc", 1); err != nil {
+		t.Fatal(err)
+	}
+	e0 := r.Epoch()
+	// A second registration bumps the epoch; the next lookup must go to
+	// the DHT and see the new provider.
+	if err := r.Register(1, a, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() == e0 {
+		t.Fatal("Register must bump the epoch")
+	}
+	entries, _, err := r.Lookup(5, "svc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ProviderCount(2) != 2 {
+		t.Fatal("post-mutation lookup must observe the new provider")
+	}
+	if s := r.Stats(); s.CacheHits != 0 || s.CacheMisses != 2 {
+		t.Fatalf("stats = hits %d misses %d, want 0/2", s.CacheHits, s.CacheMisses)
+	}
+}
+
+func TestLookupCacheRespectsTTLHorizon(t *testing.T) {
+	r := New(Config{TTL: 5}, 11)
+	for p := 0; p < 10; p++ {
+		r.AddPeer(topology.PeerID(p))
+	}
+	inst := testInst("svc", 0)
+	r.Register(0, inst, 0, 0) // expires at 5
+	if _, _, err := r.Lookup(1, "svc", 1); err != nil {
+		t.Fatal(err)
+	}
+	// t=6 crosses the registration's expiry: the cached slot (valid until
+	// 5) must not serve, and the fresh lookup must omit the dead entry.
+	entries, _, err := r.Lookup(1, "svc", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatal("expired registration served from cache")
+	}
+	if s := r.Stats(); s.CacheHits != 0 {
+		t.Fatalf("cache hits = %d, want 0", s.CacheHits)
+	}
+}
+
+func TestLookupCacheInvalidatedByChurn(t *testing.T) {
+	r := newReg(t, 30)
+	inst := testInst("svc", 0)
+	r.Register(0, inst, 0, 0)
+	if _, _, err := r.Lookup(1, "svc", 1); err != nil {
+		t.Fatal(err)
+	}
+	e0 := r.Epoch()
+	if err := r.RemovePeer(20, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPeer(40); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != e0+2 {
+		t.Fatalf("join+leave must bump the epoch twice: %d -> %d", e0, r.Epoch())
+	}
+	if _, _, err := r.Lookup(1, "svc", 1.1); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.CacheHits != 0 || s.CacheMisses != 2 {
+		t.Fatalf("stats = hits %d misses %d, want 0/2", s.CacheHits, s.CacheMisses)
+	}
+}
+
+func TestLookupDisableCacheEquivalence(t *testing.T) {
+	build := func(disable bool) *Registry {
+		r := New(Config{TTL: 5, DisableCache: disable}, 7)
+		for p := 0; p < 20; p++ {
+			r.AddPeer(topology.PeerID(p))
+		}
+		for i := 0; i < 3; i++ {
+			r.Register(topology.PeerID(i), testInst("svc", i), topology.PeerID(i), 0)
+		}
+		return r
+	}
+	cached, plain := build(false), build(true)
+	for _, now := range []float64{1, 1, 2, 4.5, 6, 6} {
+		a, _, errA := cached.Lookup(5, "svc", now)
+		b, _, errB := plain.Lookup(5, "svc", now)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error mismatch at t=%v: %v vs %v", now, errA, errB)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("entry count mismatch at t=%v: %d vs %d", now, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Inst.ID != b[i].Inst.ID {
+				t.Fatalf("entry order mismatch at t=%v", now)
+			}
+		}
+	}
+	if s := plain.Stats(); s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Fatal("disabled cache must not count hits or misses")
+	}
+}
+
+func TestDeadPeerLookupFailsEvenWhenCached(t *testing.T) {
+	r := newReg(t, 20)
+	inst := testInst("svc", 0)
+	r.Register(0, inst, 0, 0)
+	if _, _, err := r.Lookup(5, "svc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemovePeer(5, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Lookup(5, "svc", 1.1); err == nil {
+		t.Fatal("lookup from a removed peer must fail even with a warm cache")
 	}
 }

@@ -52,12 +52,21 @@ func (v Vector) Add(o Vector) Vector {
 
 // Sub returns v − o as a new vector.
 func (v Vector) Sub(o Vector) Vector {
+	return v.SubInto(nil, o)
+}
+
+// SubInto computes v − o into dst (grown only when its capacity is
+// insufficient) and returns it.
+func (v Vector) SubInto(dst Vector, o Vector) Vector {
 	v.mustMatch(o)
-	r := make(Vector, len(v))
-	for i := range v {
-		r[i] = v[i] - o[i]
+	if cap(dst) < len(v) {
+		dst = make(Vector, len(v))
 	}
-	return r
+	dst = dst[:len(v)]
+	for i := range v {
+		dst[i] = v[i] - o[i]
+	}
+	return dst
 }
 
 // Scale returns v scaled by k as a new vector.
@@ -141,6 +150,10 @@ func (l *Ledger) Capacity() Vector { return l.capacity.Clone() }
 
 // Available returns a copy of the currently unreserved capacity.
 func (l *Ledger) Available() Vector { return l.capacity.Sub(l.used) }
+
+// AvailableInto writes the currently unreserved capacity into dst
+// (grown only when needed) and returns it.
+func (l *Ledger) AvailableInto(dst Vector) Vector { return l.capacity.SubInto(dst, l.used) }
 
 // Active returns the number of live reservations.
 func (l *Ledger) Active() int { return l.active }

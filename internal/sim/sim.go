@@ -168,8 +168,16 @@ type Config struct {
 	TelemetryOut io.Writer
 
 	// Metrics, when non-nil, receives runtime work counters from every
-	// subsystem (compose, selection, probing, sessions).
+	// subsystem (compose, selection, probing, sessions, discovery cache,
+	// compatibility memo).
 	Metrics *obs.Registry
+
+	// DisableCaches turns off the request hot-path caches — the
+	// registry's epoch-keyed lookup cache and the composer's
+	// compatibility memo. Results are byte-identical either way (the
+	// differential suite asserts it); the switch exists for that
+	// comparison and for perf analysis.
+	DisableCaches bool
 
 	Catalog   catalog.Config
 	Topology  topology.Config
@@ -327,17 +335,30 @@ func New(cfg Config) (*Simulator, error) {
 	if s.cat, err = catalog.New(cfg.Catalog); err != nil {
 		return nil, err
 	}
+	if cfg.DisableCaches {
+		cfg.Registry.DisableCache = true
+	}
 	s.reg = registry.New(cfg.Registry, cfg.Seed)
 	s.probes = probe.NewManager(cfg.Probe, s.net)
 	s.sess = session.NewManager(s.net, s.engine)
 	if s.qsaSel, err = selection.New(cfg.Selection, s.probes, root.SplitLabeled("selection")); err != nil {
 		return nil, err
 	}
+	// The composer always gets a scratch arena (pure buffer reuse, no
+	// semantic switch); the compatibility memo honours DisableCaches.
+	cfg.Compose.Scratch = compose.NewScratch()
+	if !cfg.DisableCaches {
+		cfg.Compose.Memo = compose.NewMemo()
+	}
 	if cfg.Metrics != nil {
 		cfg.Compose.Obs = obs.NewComposeCounters(cfg.Metrics)
 		s.probes.Obs = obs.NewProbeCounters(cfg.Metrics)
 		s.sess.Obs = obs.NewSessionCounters(cfg.Metrics)
 		s.qsaSel.Counters = obs.NewSelectionCounters(cfg.Metrics)
+		s.reg.Obs = obs.NewDiscoveryCounters(cfg.Metrics)
+		if cfg.Compose.Memo != nil {
+			cfg.Compose.Memo.Obs = obs.NewMemoCounters(cfg.Metrics)
+		}
 	}
 	s.agg = &core.Aggregator{
 		Registry:       s.reg,

@@ -162,13 +162,23 @@ func (s *Source) Norm() float64 {
 
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		j := s.Intn(i + 1)
-		p[i] = p[j]
-		p[j] = i
+	return s.PermInto(nil, n)
+}
+
+// PermInto fills dst with a pseudo-random permutation of [0, n), growing
+// it only when its capacity is insufficient, and returns it. It consumes
+// exactly the same stream as Perm.
+func (s *Source) PermInto(dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
 	}
-	return p
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		j := s.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
 }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.

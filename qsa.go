@@ -200,7 +200,11 @@ func New(cfg Config) (*Grid, error) {
 	if len(weights) == 0 {
 		weights = []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
 	}
-	composeCfg := compose.Config{Weights: weights}
+	composeCfg := compose.Config{
+		Weights: weights,
+		Memo:    compose.NewMemo(),
+		Scratch: compose.NewScratch(),
+	}
 	if err := composeCfg.Validate(); err != nil {
 		return nil, err
 	}

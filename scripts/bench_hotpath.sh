@@ -1,0 +1,83 @@
+#!/bin/sh
+# Regenerates BENCH_hotpath.json, the checked-in hot-path performance
+# trajectory future PRs compare against. Two parts:
+#
+#   micro   the request hot-path benchmarks (QCS compose, Discover,
+#           Aggregate, the probe table, one simulated minute) with
+#           -benchmem
+#   e2e     the quick-scale Fig. 5 sweep timed end-to-end, with the
+#           performance plane on and with -nocache
+#
+# The pre-PR baseline block is a recorded constant (measured at commit
+# 91c5e61 on the same workload) — it is the fixed point the speedup and
+# allocation-reduction figures are computed against; do not regenerate
+# it with the caches merely disabled, which measures less than the full
+# pre-optimization pipeline cost.
+#
+# Numbers are machine-dependent; regenerate on a quiet machine and
+# expect the ratios, not the absolute times, to be comparable.
+#
+# Usage: scripts/bench_hotpath.sh   (writes BENCH_hotpath.json, ~3 min)
+set -eu
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp /tmp/qsaexp_bench.XXXXXX)
+bench=$(mktemp /tmp/qsa_bench_out.XXXXXX)
+trap 'rm -f "$bin" "$bench"' EXIT
+
+echo '>> micro-benchmarks (-benchmem)' >&2
+go test -run '^$' -bench 'Benchmark(QCS|Discover|Aggregate|TableRemove|ResolveFull|SimMinute)$' \
+	-benchmem -benchtime 2s \
+	./internal/compose/ ./internal/core/ ./internal/probe/ ./internal/sim/ > "$bench"
+
+go build -o "$bin" ./cmd/qsaexp
+
+echo '>> quick-scale Fig. 5, performance plane on' >&2
+t0=$(date +%s%N)
+"$bin" -fig 5 -scale quick > /dev/null
+t1=$(date +%s%N)
+
+echo '>> quick-scale Fig. 5, -nocache' >&2
+t2=$(date +%s%N)
+"$bin" -fig 5 -scale quick -nocache > /dev/null
+t3=$(date +%s%N)
+
+awk -v on_ns="$((t1 - t0))" -v off_ns="$((t3 - t2))" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	if (!(name in ns)) order[n++] = name
+	ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+}
+END {
+	base_fig5 = 69.3       # seconds, qsaexp -fig 5 -scale quick @ 91c5e61
+	base_agg_ns = 19534    # BenchmarkAggregate ns/op @ 91c5e61
+	base_agg_allocs = 124  # BenchmarkAggregate allocs/op @ 91c5e61
+	base_disc_ns = 8068    # BenchmarkDiscover ns/op @ 91c5e61
+	base_disc_allocs = 39  # BenchmarkDiscover allocs/op @ 91c5e61
+
+	on = on_ns / 1e9; off = off_ns / 1e9
+	printf "{\n"
+	printf "  \"generated_by\": \"scripts/bench_hotpath.sh\",\n"
+	printf "  \"micro\": {\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n",
+			name, ns[name], bytes[name], allocs[name], (i < n - 1 ? "," : "")
+	}
+	printf "  },\n"
+	printf "  \"fig5_quick_seconds\": {\"cached\": %.1f, \"nocache\": %.1f},\n", on, off
+	printf "  \"baseline_pre_pr\": {\n"
+	printf "    \"commit\": \"91c5e61\",\n"
+	printf "    \"fig5_quick_seconds\": %.1f,\n", base_fig5
+	printf "    \"aggregate\": {\"ns_op\": %d, \"allocs_op\": %d},\n", base_agg_ns, base_agg_allocs
+	printf "    \"discover\": {\"ns_op\": %d, \"allocs_op\": %d}\n", base_disc_ns, base_disc_allocs
+	printf "  },\n"
+	printf "  \"speedup_fig5_vs_pre_pr\": %.2f,\n", base_fig5 / on
+	printf "  \"aggregate_allocs_reduction_pct\": %.1f\n",
+		100 * (base_agg_allocs - allocs["Aggregate"]) / base_agg_allocs
+	printf "}\n"
+}' "$bench" > BENCH_hotpath.json
+
+cat BENCH_hotpath.json
