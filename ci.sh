@@ -4,14 +4,20 @@
 #
 #   build     the whole module, commands included
 #   vet       the stock Go checks
-#   qsalint   the repo's own analyzers (determinism, float-eq,
-#             mutex-across-block, keyed-literals, panic-in-library,
-#             unchecked-error) — see README "Static analysis"
+#   qsalint   the repo's own analyzers, all ten: the per-package checks
+#             (determinism, float-eq, mutex-across-block, keyed-literals,
+#             panic-in-library, unchecked-error) plus the whole-module
+#             dataflow passes (hotalloc, lockorder, goleak, detflow) —
+#             see README "Static analysis". Fails on any unsuppressed
+#             finding and leaves a machine-readable artifact at
+#             $QSALINT_JSON (default /tmp/qsalint.json)
 #   test      the short suite, then again under the race detector
 #   chaos     the netproto fault-injection suite, explicitly under -race
 #   coverage  internal/netproto statement coverage must not drop below
 #             the pre-fault-plane baseline (91.0%); internal/obs (the
-#             telemetry plane) must stay at or above 94.0%
+#             telemetry plane) must stay at or above 94.0%;
+#             internal/analysis (the lint engine the other gates lean
+#             on) must stay at or above 90.0%
 #   bench     the Telemetry benchmarks run once; they fail if the
 #             disabled-sink hot paths allocate. The request hot-path
 #             benchmarks (QCS, Discover, Aggregate, SimMinute, the probe
@@ -29,8 +35,14 @@ go build ./...
 echo '>> go vet ./...'
 go vet ./...
 
-echo '>> go run ./cmd/qsalint ./...'
-go run ./cmd/qsalint ./...
+echo '>> go run ./cmd/qsalint ./... (all ten analyzers)'
+QSALINT_JSON="${QSALINT_JSON:-/tmp/qsalint.json}"
+if ! go run ./cmd/qsalint -json ./... > "$QSALINT_JSON"; then
+	cat "$QSALINT_JSON"
+	echo "qsalint: unsuppressed findings (artifact: $QSALINT_JSON)"
+	exit 1
+fi
+echo "qsalint: clean (artifact: $QSALINT_JSON)"
 
 echo '>> go test -short ./...'
 go test -short ./...
@@ -44,7 +56,8 @@ go test -race -short -run 'TestChaos' ./internal/netproto/
 echo '>> netproto coverage gate'
 cover_out=$(mktemp /tmp/qsa_netproto_cover.XXXXXX)
 obs_cover_out=$(mktemp /tmp/qsa_obs_cover.XXXXXX)
-trap 'rm -f "$cover_out" "$obs_cover_out"' EXIT
+analysis_cover_out=$(mktemp /tmp/qsa_analysis_cover.XXXXXX)
+trap 'rm -f "$cover_out" "$obs_cover_out" "$analysis_cover_out"' EXIT
 go test -short -coverprofile="$cover_out" ./internal/netproto/ > /dev/null
 cover=$(go tool cover -func="$cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 awk -v c="$cover" 'BEGIN {
@@ -64,6 +77,17 @@ awk -v c="$obs_cover" 'BEGIN {
 		exit 1
 	}
 	print "obs coverage " c "% (baseline 94.0%)"
+}'
+
+echo '>> analysis (lint engine) coverage gate'
+go test -short -coverprofile="$analysis_cover_out" ./internal/analysis/ > /dev/null
+analysis_cover=$(go tool cover -func="$analysis_cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+awk -v c="$analysis_cover" 'BEGIN {
+	if (c + 0 < 90.0) {
+		print "analysis coverage " c "% dropped below the 90.0% baseline"
+		exit 1
+	}
+	print "analysis coverage " c "% (baseline 90.0%)"
 }'
 
 echo '>> telemetry zero-allocation bench smoke'

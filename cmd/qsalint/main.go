@@ -4,14 +4,19 @@
 //
 // Usage:
 //
-//	qsalint [-list] [dir]
+//	qsalint [-list] [-run name,name] [-tests] [-json] [dir]
 //
 // dir defaults to the current directory; the module containing it is
 // linted as a whole (package patterns like ./... are accepted and mean
-// the same thing). -list prints the analyzers and exits.
+// the same thing). -list prints the analyzers and exits. -run restricts
+// the run to a comma-separated analyzer selection. -tests includes
+// _test.go files for the analyzers that opt in to them. -json emits the
+// diagnostics as a JSON array on stdout (exit status semantics
+// unchanged), for CI artifacts and tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +25,22 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonDiag is the machine-readable diagnostic shape emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	tests := flag.Bool("tests", false, "include _test.go files for analyzers that opt in")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qsalint [-list] [dir]\n")
+		fmt.Fprintf(os.Stderr, "usage: qsalint [-list] [-run name,name] [-tests] [-json] [dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,6 +50,16 @@ func main() {
 			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qsalint:", err)
+			os.Exit(2)
+		}
 	}
 
 	dir := "."
@@ -50,14 +77,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qsalint:", err)
 		os.Exit(2)
 	}
-	pkgs, err := analysis.LoadModule(root)
+	pkgs, err := analysis.LoadModuleWith(root, analysis.LoadOptions{Tests: *tests})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsalint:", err)
 		os.Exit(2)
 	}
-	diags := analysis.Run(pkgs, analysis.All())
-	for _, d := range diags {
-		fmt.Println(d.String())
+	diags := analysis.Run(pkgs, analyzers)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "qsalint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "qsalint: %d finding(s)\n", len(diags))

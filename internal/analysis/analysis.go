@@ -47,6 +47,12 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package behind pass and reports violations.
 	Run func(pass *Pass)
+	// Tests opts the analyzer in to _test.go files when the module was
+	// loaded with LoadOptions.Tests. Most analyzers enforce library
+	// invariants that tests legitimately break (wall-clock timeouts,
+	// panics, dropped errors); the determinism-taint ones also guard
+	// the chaos and differential suites.
+	Tests bool
 }
 
 // Diagnostic is one reported violation.
@@ -66,6 +72,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Mod is the shared whole-module facts layer (call graph, transitive
+	// facts); every pass of one Run sees the same instance, so the
+	// cross-package analyzers compute their dataflow once.
+	Mod *Module
 
 	report func(Diagnostic)
 }
@@ -84,8 +94,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Files returns the package's parsed non-test source files.
-func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+// Files returns the package's parsed non-test source files, plus its
+// test files when the module holds them and the analyzer opted in.
+func (p *Pass) Files() []*ast.File {
+	if p.Analyzer.Tests && len(p.Pkg.TestFiles) > 0 {
+		return append(append([]*ast.File{}, p.Pkg.Files...), p.Pkg.TestFiles...)
+	}
+	return p.Pkg.Files
+}
 
 // TypesInfo returns the package's type-checking results.
 func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
@@ -149,7 +165,9 @@ func (pkg *Package) suppressed(analyzer string, pos token.Position) bool {
 	return false
 }
 
-// All returns the repo's analyzers in reporting order.
+// All returns the repo's analyzers in reporting order: the six
+// per-function syntactic checks of PR 1, then the four whole-module
+// dataflow analyzers built on the shared call graph.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -158,7 +176,36 @@ func All() []*Analyzer {
 		KeyedLiterals,
 		PanicInLibrary,
 		UncheckedError,
+		HotAlloc,
+		LockOrder,
+		GoLeak,
+		DetFlow,
 	}
+}
+
+// ByName resolves a comma-separated analyzer selection against All();
+// unknown names are an error.
+func ByName(names string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: empty analyzer selection %q", names)
+	}
+	return out, nil
 }
 
 // Run applies the given analyzers to every package and returns the
@@ -166,6 +213,7 @@ func All() []*Analyzer {
 // lint:allow comments are reported too, so suppressions cannot outlive
 // the violation they excuse.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := NewModule(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -173,6 +221,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Pkg:      pkg,
+				Mod:      mod,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
 			a.Run(pass)

@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetFlow is determinism as dataflow. The per-function determinism
+// analyzer bans wall-clock and math/rand calls inside the simulation
+// packages outright; detflow instead follows the value: a
+// nondeterministic source anywhere in the module — time.Now/Since/Until,
+// math/rand (v1 or v2), map iteration order, or a module function whose
+// return is itself tainted — must not flow into the artifacts the
+// reproduction diffs bit-for-bit: per-request stats, psi series points,
+// and trace payloads. The network prototype is allowed to read the wall
+// clock (it is exempt from the determinism analyzer), but the moment
+// such a value lands in a RequestStats or an obs.Event the replay
+// guarantee of PR 3 is gone, and that is exactly the flow this analyzer
+// reports. It also runs over _test.go files when loaded with -tests: the
+// chaos and differential suites assert bit-for-bit equality, so a taint
+// there invalidates the suite itself.
+//
+// Taint is tracked per function with calls summarized module-wide: a
+// function returning a tainted value taints its callers' results, to a
+// fixpoint over the shared call graph.
+var DetFlow = &Analyzer{
+	Name:  "detflow",
+	Doc:   "forbid nondeterministic values (wall clock, map order, math/rand) from flowing into stats, series and traces",
+	Tests: true,
+	Run:   runDetFlow,
+}
+
+// detFacts is the module-wide taint summary: for each function whose
+// return value is nondeterministic, why.
+type detFacts struct {
+	ret map[*types.Func]string
+}
+
+// detSinkTypes are the deterministic artifacts: constructing one of
+// these (composite literal) or writing one of its fields from a tainted
+// value is a finding. Names are "pkgbase.Type".
+var detSinkTypes = map[string]bool{
+	"sim.RequestStats": true,
+	"sim.Result":       true,
+	"obs.Event":        true,
+	"obs.Candidate":    true,
+	"metrics.Point":    true,
+	"metrics.Ratio":    true,
+}
+
+// detSinkRecv are receiver types whose methods ingest deterministic
+// artifacts: passing a tainted argument into them is a finding even
+// without naming a sink type.
+var detSinkRecv = map[string]bool{
+	"obs.Tracer":      true,
+	"metrics.Sampler": true,
+}
+
+func runDetFlow(pass *Pass) {
+	mod := pass.Mod
+	mod.detOnce.Do(func() { mod.detFacts = computeDetFacts(mod) })
+	for _, fi := range mod.Funcs(pass.Pkg) {
+		ft := newFuncTaint(mod, fi, mod.detFacts)
+		ft.run()
+		scanDetSinks(pass, fi, ft)
+	}
+}
+
+// computeDetFacts summarizes, to a fixpoint over the call graph, every
+// module function whose return value carries taint.
+func computeDetFacts(mod *Module) *detFacts {
+	facts := &detFacts{ret: make(map[*types.Func]string)}
+	for changed := true; changed; {
+		changed = false
+		for _, pkg := range mod.Pkgs {
+			for _, fi := range mod.Funcs(pkg) {
+				if facts.ret[fi.Obj] != "" {
+					continue
+				}
+				ft := newFuncTaint(mod, fi, facts)
+				ft.run()
+				if r := ft.returnReason(); r != "" {
+					facts.ret[fi.Obj] = r
+					changed = true
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// funcTaint tracks which local objects of one function hold
+// nondeterministic values, and why.
+type funcTaint struct {
+	mod     *Module
+	fi      *FuncInfo
+	info    *types.Info
+	facts   *detFacts
+	tainted map[types.Object]string
+	// sanitized holds objects passed to a sort call somewhere in the
+	// function: sorting launders map-iteration-order taint (the values
+	// are fine, only their order was nondeterministic), so such objects
+	// never take an order-taint. Wall-clock and rand taints are value
+	// taints and are not laundered.
+	sanitized map[types.Object]bool
+}
+
+// sortSanitizers are the stdlib calls whose first argument comes out
+// order-deterministic.
+var sortSanitizers = map[string]map[string]bool{
+	"sort":   {"Ints": true, "Strings": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func newFuncTaint(mod *Module, fi *FuncInfo, facts *detFacts) *funcTaint {
+	t := &funcTaint{mod: mod, fi: fi, info: fi.Pkg.Info, facts: facts,
+		tainted: make(map[types.Object]string), sanitized: make(map[types.Object]bool)}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(t.info, call)
+		if fn == nil || fn.Pkg() == nil || !sortSanitizers[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := t.objOf(id); obj != nil {
+				t.sanitized[obj] = true
+			}
+		}
+		return true
+	})
+	return t
+}
+
+// run propagates taint through assignments, declarations and range
+// statements to a fixpoint.
+func (t *funcTaint) run() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(t.fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				reason := ""
+				for _, r := range n.Rhs {
+					if s := t.exprReason(r); s != "" {
+						reason = s
+						break
+					}
+				}
+				if reason != "" {
+					for _, l := range n.Lhs {
+						if t.mark(l, reason) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				reason := ""
+				for _, v := range n.Values {
+					if s := t.exprReason(v); s != "" {
+						reason = s
+						break
+					}
+				}
+				if reason != "" {
+					for _, id := range n.Names {
+						if t.markIdent(id, reason) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				reason := ""
+				if tp := t.info.Types[n.X].Type; tp != nil {
+					if _, isMap := tp.Underlying().(*types.Map); isMap {
+						reason = "map iteration order"
+					}
+				}
+				if reason == "" {
+					reason = t.exprReason(n.X)
+				}
+				if reason != "" {
+					if t.mark(n.Key, reason) {
+						changed = true
+					}
+					if t.mark(n.Value, reason) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mark taints the object behind an identifier target; non-identifier
+// targets (field writes) are sink-checked separately, not tracked.
+func (t *funcTaint) mark(e ast.Expr, reason string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return t.markIdent(id, reason)
+}
+
+func (t *funcTaint) markIdent(id *ast.Ident, reason string) bool {
+	if id == nil || id.Name == "_" {
+		return false
+	}
+	obj := t.objOf(id)
+	if obj == nil || t.tainted[obj] != "" {
+		return false
+	}
+	if t.sanitized[obj] && strings.HasPrefix(reason, "map iteration order") {
+		return false
+	}
+	t.tainted[obj] = reason
+	return true
+}
+
+func (t *funcTaint) objOf(id *ast.Ident) types.Object {
+	if obj := t.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return t.info.Uses[id]
+}
+
+// exprReason reports why the expression's value is nondeterministic, ""
+// when no taint is visible. Every sub-expression is scanned, so a
+// source buried in a method chain or arithmetic still counts.
+func (t *funcTaint) exprReason(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	reason := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := t.objOf(n); obj != nil {
+				if r := t.tainted[obj]; r != "" {
+					reason = r
+				}
+			}
+		case *ast.CallExpr:
+			if r := t.callReason(n); r != "" {
+				reason = r
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// callReason classifies a call as a nondeterminism source: the known
+// stdlib sources, or a module function the fixpoint marked tainted.
+func (t *funcTaint) callReason(call *ast.CallExpr) string {
+	fn := calleeFunc(t.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "the wall clock (time." + fn.Name() + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		return "unseeded " + fn.Pkg().Path() + "." + fn.Name()
+	}
+	if r := t.facts.ret[fn]; r != "" {
+		if callee := t.mod.FuncOf(fn); callee != nil {
+			return r + ", via " + callee.Name()
+		}
+		return r
+	}
+	return ""
+}
+
+// returnReason reports taint on any return value of the function,
+// outside nested function literals.
+func (t *funcTaint) returnReason() string {
+	reason := ""
+	ast.Inspect(t.fi.Decl.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if r := t.exprReason(res); r != "" {
+					reason = r
+					break
+				}
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// detTypeName renders a named (possibly pointed-to) type as
+// "pkgbase.Type", "" for everything else.
+func detTypeName(tp types.Type) string {
+	if tp == nil {
+		return ""
+	}
+	if p, ok := tp.(*types.Pointer); ok {
+		tp = p.Elem()
+	}
+	n, ok := tp.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	path := n.Obj().Pkg().Path()
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return path + "." + n.Obj().Name()
+}
+
+// scanDetSinks reports every flow of a tainted value into a sink:
+// composite literals of sink types, field writes on sink types, and
+// arguments to sink-receiver methods.
+func scanDetSinks(pass *Pass, fi *FuncInfo, ft *funcTaint) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			name := detTypeName(info.Types[n].Type)
+			if !detSinkTypes[name] {
+				return true
+			}
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if r := ft.exprReason(val); r != "" {
+					pass.Reportf(val.Pos(), "nondeterministic value (%s) flows into %s; derive it from the seeded clock/rng or keep it out of replayed artifacts", r, name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				sel, ok := l.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				name := detTypeName(info.Types[sel.X].Type)
+				if !detSinkTypes[name] {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if r := ft.exprReason(rhs); r != "" {
+					pass.Reportf(n.Pos(), "nondeterministic value (%s) written to %s.%s; derive it from the seeded clock/rng", r, name, sel.Sel.Name)
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || !detSinkRecv[detTypeName(s.Recv())] {
+				return true
+			}
+			for _, arg := range n.Args {
+				// Sink-typed composite literal arguments are already
+				// checked element-wise above.
+				if lit, isLit := arg.(*ast.CompositeLit); isLit && detSinkTypes[detTypeName(info.Types[lit].Type)] {
+					continue
+				}
+				if r := ft.exprReason(arg); r != "" {
+					pass.Reportf(arg.Pos(), "nondeterministic value (%s) passed into %s.%s; replayed telemetry must be seed-derived", r, detTypeName(s.Recv()), sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoLeak requires every goroutine spawned by library code to have a
+// visible termination path. The paper's aggregation pipeline is
+// request-scoped: probes, fan-out lookups and session reapers all start
+// goroutines per request or per peer, and one leaked goroutine per
+// request is the difference between the scalability claim (§5) holding
+// and the node dying under churn. The analyzer resolves each go
+// statement's body — a function literal, or a named module function via
+// the shared call graph — and flags:
+//
+//   - infinite `for {}` loops with no return and no break out of the
+//     loop: nothing ends the goroutine;
+//   - `select {}` with no cases: blocks forever by definition;
+//   - a plain channel send outside any select: if the receiver is gone
+//     (request cancelled, peer dead) the goroutine blocks forever —
+//     sends from spawned goroutines must carry a cancellation arm;
+//   - spawn targets the analyzer cannot resolve (function values,
+//     interface methods): termination cannot be audited, so the spawn
+//     site must name a function or literal, or justify itself.
+//
+// package main and test files are exempt: commands die with the
+// process, and test goroutines die with the test binary.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "require a visible termination path for every goroutine spawned in library code",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if pass.Pkg.Name == "main" || pass.Pkg.ForTest {
+		return
+	}
+	mod := pass.Mod
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				for _, p := range spawnProblems(pass, lit.Body) {
+					pass.Reportf(p.pos, "goroutine %s; give the goroutine a context/done-channel/WaitGroup termination path", p.msg)
+				}
+				return true
+			}
+			callee := mod.StaticCallee(info, g.Call)
+			if callee == nil {
+				pass.Reportf(g.Pos(), "cannot resolve the spawned function; spawn a named function or literal so its termination path is auditable")
+				return true
+			}
+			// Findings inside a named callee are reported at the spawn
+			// site: the defect is spawning a function with no exit, and
+			// the callee may live in another package whose suppressions
+			// this pass cannot see.
+			for _, p := range spawnProblems(pass, callee.Decl.Body) {
+				pass.Reportf(g.Pos(), "spawned %s %s at %s; give the goroutine a termination path", callee.Name(), p.msg, pass.Fset.Position(p.pos))
+			}
+			return true
+		})
+	}
+}
+
+// spawnProblem is one termination defect found in a spawned body.
+type spawnProblem struct {
+	pos token.Pos
+	msg string
+}
+
+// spawnProblems scans a goroutine body for constructs with no
+// termination path. Nested function literals are skipped: they run on
+// their own schedule and are audited at their own spawn sites.
+func spawnProblems(pass *Pass, body *ast.BlockStmt) []spawnProblem {
+	var out []spawnProblem
+	var inSelect []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectStmt); ok && len(s.Body.List) > 0 {
+			inSelect = append(inSelect, posRange{s.Pos(), s.End()})
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopHasExit(n) {
+				out = append(out, spawnProblem{n.Pos(), "loops forever with no return or break"})
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				out = append(out, spawnProblem{n.Pos(), "blocks forever on an empty select"})
+			}
+		case *ast.SendStmt:
+			if !inRanges(inSelect, n.Pos()) {
+				out = append(out, spawnProblem{n.Pos(), "sends on a channel with no select/cancellation arm, so it can outlive the receiver"})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopHasExit reports whether an infinite for loop contains a return or
+// an unlabeled break at its own nesting level (labeled breaks are
+// accepted conservatively), outside nested function literals.
+func loopHasExit(loop *ast.ForStmt) bool {
+	return stmtsExit(loop.Body.List, 0)
+}
+
+// stmtsExit walks statements looking for an exit from the loop whose
+// body sits at depth 0. depth counts enclosing constructs an unlabeled
+// break would bind to instead of the loop under audit.
+func stmtsExit(list []ast.Stmt, depth int) bool {
+	for _, s := range list {
+		if stmtExit(s, depth) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtExit(s ast.Stmt, depth int) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			// A labeled break targets some enclosing statement; assume
+			// it can leave the loop. An unlabeled break only counts at
+			// the loop's own level.
+			return s.Label != nil || depth == 0
+		case "goto":
+			return true // conservatively assume the label leads out
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+				return true // crash is a termination path, if a rude one
+			}
+		}
+	case *ast.BlockStmt:
+		return stmtsExit(s.List, depth)
+	case *ast.IfStmt:
+		if stmtsExit(s.Body.List, depth) {
+			return true
+		}
+		if s.Else != nil && stmtExit(s.Else, depth) {
+			return true
+		}
+	case *ast.ForStmt:
+		return stmtsExit(s.Body.List, depth+1)
+	case *ast.RangeStmt:
+		return stmtsExit(s.Body.List, depth+1)
+	case *ast.SwitchStmt:
+		return clausesExit(s.Body.List, depth+1)
+	case *ast.TypeSwitchStmt:
+		return clausesExit(s.Body.List, depth+1)
+	case *ast.SelectStmt:
+		return commClausesExit(s.Body.List, depth+1)
+	case *ast.LabeledStmt:
+		return stmtExit(s.Stmt, depth)
+	}
+	return false
+}
+
+func clausesExit(list []ast.Stmt, depth int) bool {
+	for _, c := range list {
+		if cc, ok := c.(*ast.CaseClause); ok && stmtsExit(cc.Body, depth) {
+			return true
+		}
+	}
+	return false
+}
+
+func commClausesExit(list []ast.Stmt, depth int) bool {
+	for _, c := range list {
+		if cc, ok := c.(*ast.CommClause); ok && stmtsExit(cc.Body, depth) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc makes the request hot path's allocation budget (DESIGN §9,
+// gated dynamically by one benchmark in ci.sh) a static property:
+// every function whose doc comment carries `// lint:hotpath <why>`
+// must be transitively allocation-free on its steady-state success
+// path. The analyzer walks the shared call graph from each annotated
+// root and flags, in every reached function:
+//
+//   - make / new and heap-escaping composite literals;
+//   - append that is not the amortized self-append recycle idiom
+//     (`buf = append(buf, ...)` or `buf = append(buf[:0], ...)`);
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - explicit conversions of concrete values to interface types
+//     (boxing) and method values (closure allocation);
+//   - function literals and go statements;
+//   - calls into known-allocating stdlib functions (fmt, errors,
+//     strconv formatting, strings/bytes builders, sort.Slice);
+//   - dynamic calls (interface methods, function values) that cannot
+//     be proven allocation-free.
+//
+// Two escapes keep the contract precise instead of noisy. Branches
+// that terminate by returning a non-nil error are failure paths, not
+// steady state, and are skipped entirely. Functions annotated
+// `// lint:coldpath <why>` are boundaries the steady state never
+// crosses (telemetry emission, error rendering); traversal stops
+// there. Everything else that intentionally allocates — session
+// construction on admit, cache-miss rebuilds — carries a
+// `lint:allow hotalloc` justification, so the 21 allocs/op budget of
+// PR 5 is enumerable in source instead of living in one benchmark.
+//
+// Map index writes are not flagged: the repo's hot maps are cleared
+// and reused, so like self-append they amortize to zero.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "require lint:hotpath functions to be transitively allocation-free on the steady-state path",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	mod := pass.Mod
+	mod.hotOnce.Do(func() { mod.hotDiags = computeHotAlloc(mod) })
+	emitPending(pass, mod.hotDiags)
+}
+
+// allocPkgFuncs are stdlib package-level functions known to allocate on
+// every call. The list is deliberately small and extensible; stdlib
+// calls not listed here are assumed clean, with the ci.sh allocation
+// benchmark as the dynamic backstop.
+var allocPkgFuncs = map[string]map[string]bool{
+	"fmt": nil, // nil means "every function in the package"
+	"errors": {
+		"New": true, "Join": true,
+	},
+	"strconv": {
+		"Itoa": true, "FormatInt": true, "FormatUint": true,
+		"FormatFloat": true, "Quote": true, "Unquote": true,
+	},
+	"strings": {
+		"Join": true, "Repeat": true, "Split": true, "SplitN": true,
+		"Fields": true, "Replace": true, "ReplaceAll": true,
+		"ToUpper": true, "ToLower": true, "Clone": true, "Map": true,
+	},
+	"bytes": {
+		"Join": true, "Repeat": true, "Split": true, "Fields": true,
+		"Clone": true, "ToUpper": true, "ToLower": true,
+	},
+	"sort": {
+		"Slice": true, "SliceStable": true,
+	},
+	"slices": {
+		"Clone": true, "Collect": true, "Sorted": true, "Concat": true,
+	},
+	"maps": {
+		"Clone": true, "Collect": true,
+	},
+}
+
+// isAllocPkgFunc reports whether fn is a known-allocating stdlib call.
+func isAllocPkgFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	set, ok := allocPkgFuncs[pkg.Path()]
+	if !ok {
+		return false
+	}
+	return set == nil || set[fn.Name()]
+}
+
+// computeHotAlloc walks the call graph from every lint:hotpath root and
+// scans each reached function for allocation sites.
+func computeHotAlloc(mod *Module) map[*Package][]pending {
+	diags := make(map[*Package][]pending)
+
+	// attributedTo maps each reached function to the first annotated
+	// root (in deterministic order) that reaches it, for diagnostics.
+	attributedTo := make(map[*FuncInfo]*FuncInfo)
+	var roots []*FuncInfo
+	for _, pkg := range mod.Pkgs {
+		for _, fi := range mod.Funcs(pkg) {
+			if fi.Hot {
+				roots = append(roots, fi)
+			}
+		}
+	}
+
+	coldCache := make(map[*FuncInfo][]posRange)
+	coldOf := func(fi *FuncInfo) []posRange {
+		if r, ok := coldCache[fi]; ok {
+			return r
+		}
+		r := coldRanges(fi)
+		coldCache[fi] = r
+		return r
+	}
+
+	var visit func(fi, root *FuncInfo)
+	visit = func(fi, root *FuncInfo) {
+		if fi.Cold {
+			return
+		}
+		if _, seen := attributedTo[fi]; seen {
+			return
+		}
+		attributedTo[fi] = root
+		cold := coldOf(fi)
+		for _, e := range fi.Edges() {
+			// Only straight calls on the live schedule extend the hot
+			// region: spawns and closures are flagged at their site,
+			// and error-path calls are not steady state.
+			if e.Kind != EdgeCall || e.InFuncLit || inRanges(cold, e.Pos) {
+				continue
+			}
+			visit(e.Callee, root)
+		}
+	}
+	for _, r := range roots {
+		visit(r, r)
+	}
+
+	for fi, root := range attributedTo {
+		scanHotFunc(mod, fi, root, coldOf(fi), func(pos token.Pos, what string) {
+			diags[fi.Pkg] = append(diags[fi.Pkg], pending{
+				pos: pos,
+				msg: fmt.Sprintf("%s in hot path (reached from %s); keep the steady state allocation-free or justify with lint:allow hotalloc", what, root.Name()),
+			})
+		})
+	}
+	return diags
+}
+
+// errorReturning reports whether the function's last result is error.
+func errorReturning(fi *FuncInfo) bool {
+	sig := fi.Obj.Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// coldRanges collects the failure-path regions of an error-returning
+// function: every block whose statement list terminates in a return
+// whose final result is a non-nil error expression. Allocations there
+// (wrapping errors, formatting messages) are not steady state.
+func coldRanges(fi *FuncInfo) []posRange {
+	errFn := errorReturning(fi)
+	var ranges []posRange
+	addIfCold := func(list []ast.Stmt, lo, hi token.Pos) {
+		// Panic-terminated blocks are cold in any function; blocks
+		// ending in `return ..., err` only count in functions whose
+		// last result actually is an error.
+		if endsInPanic(list) || (errFn && endsInErrorReturn(list)) {
+			ranges = append(ranges, posRange{lo, hi})
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			addIfCold(n.Body.List, n.Body.Pos(), n.Body.End())
+			if blk, ok := n.Else.(*ast.BlockStmt); ok {
+				addIfCold(blk.List, blk.Pos(), blk.End())
+			}
+		case *ast.CaseClause:
+			if len(n.Body) > 0 {
+				addIfCold(n.Body, n.Body[0].Pos(), n.Body[len(n.Body)-1].End())
+			}
+		}
+		return true
+	})
+	return ranges
+}
+
+// endsInPanic reports whether the statement list terminates in panic.
+func endsInPanic(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return endsInPanic(last.List)
+	}
+	return false
+}
+
+// endsInErrorReturn reports whether the statement list terminates in
+// `return ..., <non-nil error expr>`.
+func endsInErrorReturn(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false // bare return of named results: assume steady
+		}
+		final := last.Results[len(last.Results)-1]
+		if id, ok := final.(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return true
+	case *ast.BlockStmt:
+		return endsInErrorReturn(last.List)
+	}
+	return false
+}
+
+// scanHotFunc flags the allocation sites of one reached function,
+// skipping failure-path regions and function-literal interiors.
+func scanHotFunc(mod *Module, fi, root *FuncInfo, cold []posRange, report func(token.Pos, string)) {
+	info := fi.Pkg.Info
+
+	// Self-appends (`buf = append(buf, ...)`, `buf = append(buf[:0], ...)`)
+	// are the recycle idiom and amortize to zero; collect them first.
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		dst := types.ExprString(as.Lhs[0])
+		src := call.Args[0]
+		if sl, ok := src.(*ast.SliceExpr); ok {
+			src = sl.X
+		}
+		if types.ExprString(src) == dst {
+			selfAppend[call] = true
+		}
+		return true
+	})
+
+	// Calls through a local variable holding a function literal are not
+	// re-flagged: the literal's creation is the allocation, and it was
+	// (or will be) reported at its own site.
+	closureVars := make(map[types.Object]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, r := range as.Rhs {
+			if _, isLit := r.(*ast.FuncLit); !isLit {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					closureVars[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					closureVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	consumedLits := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if inRanges(cold, n.Pos()) {
+			return true // nodes report individually; cheap to re-test
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closure) allocates")
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement spawns a goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					consumedLits[lit] = true
+					report(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if consumedLits[n] {
+				return true
+			}
+			if t := info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n.Pos(), "slice/map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.Types[n.X].Type) {
+				report(n.OpPos, "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			scanHotCall(mod, info, n, selfAppend, closureVars, report)
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// scanHotCall classifies one call in a hot region.
+func scanHotCall(mod *Module, info *types.Info, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool, closureVars map[types.Object]bool, report func(token.Pos, string)) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if !selfAppend[call] {
+					report(call.Pos(), "append into a fresh destination may grow (reuse a recycled buffer with dst = append(dst[:0], ...))")
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		target := tv.Type
+		argT := info.Types[call.Args[0]].Type
+		if argT == nil {
+			return
+		}
+		if types.IsInterface(target.Underlying()) && !types.IsInterface(argT.Underlying()) {
+			if b, ok := argT.Underlying().(*types.Basic); !ok || b.Kind() != types.UntypedNil {
+				report(call.Pos(), "conversion to interface boxes the value")
+			}
+			return
+		}
+		if isStringType(target) && isByteOrRuneSlice(argT) ||
+			isByteOrRuneSlice(target) && isStringType(argT) {
+			report(call.Pos(), "string<->slice conversion copies and allocates")
+		}
+		return
+	}
+
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		if id, ok := call.Fun.(*ast.Ident); ok && closureVars[info.Uses[id]] {
+			return // local closure: its creation is the reported allocation
+		}
+		// Dynamic call: interface method or function value. The
+		// callee is invisible to the call graph, so allocation-freedom
+		// cannot be established statically.
+		report(call.Pos(), fmt.Sprintf("dynamic call %s cannot be proven allocation-free", strings.TrimSpace(types.ExprString(call.Fun))))
+		return
+	}
+	if mod.FuncOf(fn) != nil {
+		return // module function: traversal visits it separately
+	}
+	if isAllocPkgFunc(fn) {
+		report(call.Pos(), fmt.Sprintf("%s.%s allocates", fn.Pkg().Name(), fn.Name()))
+	}
+}

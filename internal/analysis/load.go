@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -25,7 +27,13 @@ type Package struct {
 	Name string
 
 	Fset  *token.FileSet
-	Files []*ast.File // non-test files only, parsed with comments
+	Files []*ast.File // non-test files, parsed with comments
+	// TestFiles holds the package's _test.go files when the module was
+	// loaded with Tests; analyzers opt in to them via Analyzer.Tests.
+	TestFiles []*ast.File
+	// ForTest marks an external test package (package foo_test): all of
+	// its sources are test files and nothing can import it.
+	ForTest bool
 
 	Types *types.Package
 	Info  *types.Info
@@ -69,6 +77,17 @@ func FindModuleRoot(dir string) (string, error) {
 	}
 }
 
+// LoadOptions configures LoadModuleWith.
+type LoadOptions struct {
+	// Tests includes _test.go files: in-package test files type-check
+	// together with their package (Go forbids import cycles through
+	// them, so dependency order is unaffected), external foo_test
+	// packages load as their own ForTest entries after everything they
+	// import. Analyzers see test files only when they opt in via
+	// Analyzer.Tests.
+	Tests bool
+}
+
 // LoadModule parses and type-checks every package of the module rooted at
 // root. Test files (_test.go) are excluded: the analyzers enforce library
 // invariants, and tests legitimately use wall-clock timeouts and panics.
@@ -76,6 +95,11 @@ func FindModuleRoot(dir string) (string, error) {
 // loader works with a pure go.mod (zero external dependencies) and no
 // installed export data.
 func LoadModule(root string) ([]*Package, error) {
+	return LoadModuleWith(root, LoadOptions{})
+}
+
+// LoadModuleWith is LoadModule with options; see LoadOptions.
+func LoadModuleWith(root string, opt LoadOptions) ([]*Package, error) {
 	modPath, err := ModulePath(root)
 	if err != nil {
 		return nil, err
@@ -99,7 +123,10 @@ func LoadModule(root string) ([]*Package, error) {
 			return err
 		}
 		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			if opt.Tests || !strings.HasSuffix(e.Name(), "_test.go") {
 				dirs = append(dirs, path)
 				break
 			}
@@ -114,15 +141,19 @@ func LoadModule(root string) ([]*Package, error) {
 	byPath := make(map[string]*Package, len(dirs))
 	var pkgs []*Package
 	for _, dir := range dirs {
-		pkg, err := parseDir(fset, root, modPath, dir)
+		base, ext, err := parseDir(fset, root, modPath, dir, opt.Tests)
 		if err != nil {
 			return nil, err
 		}
-		if pkg == nil {
-			continue
+		if base != nil {
+			byPath[base.ImportPath] = base
+			pkgs = append(pkgs, base)
 		}
-		byPath[pkg.ImportPath] = pkg
-		pkgs = append(pkgs, pkg)
+		if ext != nil {
+			// External test packages are not importable, so they join
+			// the ordering but never the import-resolution map.
+			pkgs = append(pkgs, ext)
+		}
 	}
 
 	ordered, err := topoSort(pkgs, byPath)
@@ -135,31 +166,51 @@ func LoadModule(root string) ([]*Package, error) {
 	return ordered, nil
 }
 
-// parseDir parses the non-test files of one package directory.
-func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+// parseDir parses one package directory: the package proper (with its
+// in-package test files when tests is set) and, separately, an external
+// foo_test package if one exists.
+func parseDir(fset *token.FileSet, root, modPath, dir string, tests bool) (base, ext *Package, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rel, err := filepath.Rel(root, dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	importPath := modPath
 	if rel != "." {
 		importPath = modPath + "/" + filepath.ToSlash(rel)
 	}
-	pkg := &Package{ImportPath: importPath, Module: modPath, Dir: dir, Fset: fset}
+	base = &Package{ImportPath: importPath, Module: modPath, Dir: dir, Fset: fset}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !tests {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		pkg.Files = append(pkg.Files, f)
+		if !buildConstraintsOK(f) {
+			continue
+		}
+		pkg := base
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			if ext == nil {
+				ext = &Package{ImportPath: importPath, Module: modPath, Dir: dir, Fset: fset, ForTest: true}
+			}
+			pkg = ext
+		}
+		if isTest {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
 		pkg.Name = f.Name.Name
 		sup, bad := parseSuppressions(fset, f)
 		pkg.suppressions = append(pkg.suppressions, sup...)
@@ -171,10 +222,39 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 			}
 		}
 	}
-	if len(pkg.Files) == 0 {
-		return nil, nil
+	if len(base.Files) == 0 && len(base.TestFiles) == 0 {
+		base = nil
 	}
-	return pkg, nil
+	return base, ext, nil
+}
+
+// buildConstraintsOK evaluates a file's //go:build line (if any) against
+// the default build context: current GOOS/GOARCH, gc, no race detector.
+// Mutually exclusive race/!race test variants would otherwise both load
+// and redeclare their shared symbols.
+func buildConstraintsOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				}
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
 }
 
 // topoSort orders packages so every repo-internal dependency precedes its
@@ -185,25 +265,27 @@ func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
 		gray  = 1 // on the current path
 		black = 2 // done
 	)
-	state := make(map[string]int, len(pkgs))
+	// Keyed by identity, not import path: an external test package
+	// shares its directory's import path without being importable.
+	state := make(map[*Package]int, len(pkgs))
 	ordered := make([]*Package, 0, len(pkgs))
 	var visit func(p *Package) error
 	visit = func(p *Package) error {
-		switch state[p.ImportPath] {
+		switch state[p] {
 		case black:
 			return nil
 		case gray:
 			return fmt.Errorf("analysis: import cycle through %s", p.ImportPath)
 		}
-		state[p.ImportPath] = gray
+		state[p] = gray
 		for _, dep := range p.imports {
-			if d, ok := byPath[dep]; ok {
+			if d, ok := byPath[dep]; ok && d != p {
 				if err := visit(d); err != nil {
 					return err
 				}
 			}
 		}
-		state[p.ImportPath] = black
+		state[p] = black
 		ordered = append(ordered, p)
 		return nil
 	}
@@ -248,7 +330,15 @@ func typeCheck(fset *token.FileSet, ordered []*Package, byPath map[string]*Packa
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		}
 		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(pkg.ImportPath, fset, pkg.Files, info)
+		files := pkg.Files
+		if len(pkg.TestFiles) > 0 {
+			files = append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+		}
+		checkPath := pkg.ImportPath
+		if pkg.ForTest {
+			checkPath += "_test"
+		}
+		tpkg, err := conf.Check(checkPath, fset, files, info)
 		if err != nil {
 			return fmt.Errorf("analysis: type-checking %s: %w", pkg.ImportPath, err)
 		}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadTemp materializes a module with writeModule and loads it.
+func loadTemp(t *testing.T, files map[string]string) []*Package {
+	t.Helper()
+	dir := writeModule(t, files)
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("loading temp module: %v", err)
+	}
+	return pkgs
+}
+
+// findFunc locates a FuncInfo by its diagnostic name ("lib.Ping").
+func findFunc(t *testing.T, mod *Module, pkgs []*Package, name string) *FuncInfo {
+	t.Helper()
+	for _, pkg := range pkgs {
+		for _, fi := range mod.Funcs(pkg) {
+			if fi.Name() == name {
+				return fi
+			}
+		}
+	}
+	t.Fatalf("function %s not found in module", name)
+	return nil
+}
+
+// TestCallGraphMutualRecursion checks that edge construction and
+// reachability terminate on a call cycle and record both directions.
+func TestCallGraphMutualRecursion(t *testing.T) {
+	pkgs := loadTemp(t, map[string]string{
+		"go.mod": "module tmpfix\n\ngo 1.24\n",
+		"lib/lib.go": `package lib
+
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+}
+
+func Pong(n int) {
+	if n > 0 {
+		Ping(n - 1)
+	}
+}
+`,
+	})
+	mod := NewModule(pkgs)
+	ping := findFunc(t, mod, pkgs, "lib.Ping")
+	pong := findFunc(t, mod, pkgs, "lib.Pong")
+	if !hasEdge(ping, pong, EdgeCall) {
+		t.Errorf("Ping -> Pong edge missing: %v", ping.Edges())
+	}
+	if !hasEdge(pong, ping, EdgeCall) {
+		t.Errorf("Pong -> Ping edge missing: %v", pong.Edges())
+	}
+	reached := mod.Reachable([]*FuncInfo{ping}, func(CallEdge) bool { return true })
+	names := make(map[string]bool)
+	for _, fi := range reached {
+		names[fi.Name()] = true
+	}
+	if !names["lib.Ping"] || !names["lib.Pong"] {
+		t.Errorf("reachability over the cycle lost a node: %v", names)
+	}
+}
+
+// TestCallGraphMethodValueAndGoEdges checks the edge kinds: a method
+// used as a value, a direct method call, and a go-statement callee.
+func TestCallGraphMethodValueAndGoEdges(t *testing.T) {
+	pkgs := loadTemp(t, map[string]string{
+		"go.mod": "module tmpfix\n\ngo 1.24\n",
+		"lib/lib.go": `package lib
+
+type T struct{}
+
+func (T) M() {}
+
+func Worker() {}
+
+func Use(t T) {
+	f := t.M
+	f()
+	t.M()
+	go Worker()
+}
+`,
+	})
+	mod := NewModule(pkgs)
+	use := findFunc(t, mod, pkgs, "lib.Use")
+	m := findFunc(t, mod, pkgs, "lib.(T).M")
+	worker := findFunc(t, mod, pkgs, "lib.Worker")
+	if !hasEdge(use, m, EdgeMethodValue) {
+		t.Errorf("Use -> T.M method-value edge missing: %v", use.Edges())
+	}
+	if !hasEdge(use, m, EdgeCall) {
+		t.Errorf("Use -> T.M direct-call edge missing: %v", use.Edges())
+	}
+	if !hasEdge(use, worker, EdgeGo) {
+		t.Errorf("Use -> Worker go edge missing: %v", use.Edges())
+	}
+}
+
+func hasEdge(from, to *FuncInfo, kind CallKind) bool {
+	for _, e := range from.Edges() {
+		if e.Callee == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// hotSrc builds a lint:hotpath function whose body is the given
+// statements, for the hotalloc regression pair below.
+func hotSrc(body string) string {
+	return `package lib
+
+// lint:hotpath regression fixture
+func Hot(buf []int, n int) int {
+` + body + `
+}
+`
+}
+
+// TestHotAllocRegression is the acceptance-criteria regression pair:
+// the annotated hot path is clean as written, and introducing a single
+// allocation into it makes hotalloc fail.
+func TestHotAllocRegression(t *testing.T) {
+	clean := loadTemp(t, map[string]string{
+		"go.mod":     "module tmpfix\n\ngo 1.24\n",
+		"lib/lib.go": hotSrc("	return n*2 + len(buf)"),
+	})
+	if diags := Run(clean, []*Analyzer{HotAlloc}); len(diags) != 0 {
+		t.Fatalf("clean hot path must not be flagged, got %v", diags)
+	}
+	broken := loadTemp(t, map[string]string{
+		"go.mod":     "module tmpfix\n\ngo 1.24\n",
+		"lib/lib.go": hotSrc("	tmp := make([]int, n)\n	return len(tmp)"),
+	})
+	diags := Run(broken, []*Analyzer{HotAlloc})
+	if len(diags) != 1 {
+		t.Fatalf("introduced allocation must yield exactly one finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "hotalloc" || !strings.Contains(d.Message, "hot path") {
+		t.Errorf("want a hotalloc hot-path finding, got %s", d)
+	}
+	if d.Pos.Line != 5 {
+		t.Errorf("finding should sit on the make line (5), got line %d", d.Pos.Line)
+	}
+}
+
+// TestLoadModuleWithTests checks the -tests loader path: in-package
+// test files merge into their package, external test packages load as
+// ForTest, and neither appears in a default load.
+func TestLoadModuleWithTests(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module tmpfix\n\ngo 1.24\n",
+		"lib/lib.go": `package lib
+
+func Add(a, b int) int { return a + b }
+`,
+		"lib/lib_test.go": `package lib
+
+import "testing"
+
+func TestAdd(t *testing.T) {
+	if Add(1, 2) != 3 {
+		t.Fatal("bad add")
+	}
+}
+`,
+		"lib/ext_test.go": `package lib_test
+
+import (
+	"testing"
+
+	"tmpfix/lib"
+)
+
+func TestAddExt(t *testing.T) {
+	if lib.Add(2, 2) != 4 {
+		t.Fatal("bad add")
+	}
+}
+`,
+	}
+	dir := writeModule(t, files)
+
+	plain, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("default load: %v", err)
+	}
+	for _, pkg := range plain {
+		if len(pkg.TestFiles) != 0 || pkg.ForTest {
+			t.Errorf("default load must skip test files, got %s with %d test files (forTest=%v)",
+				pkg.ImportPath, len(pkg.TestFiles), pkg.ForTest)
+		}
+	}
+
+	withTests, err := LoadModuleWith(dir, LoadOptions{Tests: true})
+	if err != nil {
+		t.Fatalf("load with tests: %v", err)
+	}
+	var sawInPkg, sawExt bool
+	for _, pkg := range withTests {
+		if pkg.ImportPath == "tmpfix/lib" && len(pkg.TestFiles) == 1 {
+			sawInPkg = true
+		}
+		if pkg.ForTest && pkg.ImportPath == "tmpfix/lib" && pkg.Name == "lib_test" {
+			sawExt = true
+		}
+	}
+	if !sawInPkg {
+		t.Errorf("in-package test file not merged into tmpfix/lib")
+	}
+	if !sawExt {
+		t.Errorf("external test package lib_test not loaded as ForTest")
+	}
+	if diags := Run(withTests, All()); len(diags) != 0 {
+		t.Errorf("clean test module must produce no diagnostics, got %v", diags)
+	}
+}
+
+// TestModulePathErrors checks the failure modes of go.mod parsing.
+func TestModulePathErrors(t *testing.T) {
+	if _, err := ModulePath(t.TempDir()); err == nil {
+		t.Error("missing go.mod must error")
+	}
+	dir := writeModule(t, map[string]string{"go.mod": "go 1.24\n"})
+	if _, err := ModulePath(dir); err == nil {
+		t.Error("go.mod without a module line must error")
+	}
+}
+
+// TestLoadSkipsExcludedBuildTags checks that mutually exclusive
+// build-tagged files (//go:build race vs !race) do not collide when the
+// loader type-checks test files.
+func TestLoadSkipsExcludedBuildTags(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpfix\n\ngo 1.24\n",
+		"lib/lib.go": `package lib
+
+func Enabled() bool { return raceEnabled }
+`,
+		"lib/race.go": `//go:build race
+
+package lib
+
+const raceEnabled = true
+`,
+		"lib/norace.go": `//go:build !race
+
+package lib
+
+const raceEnabled = false
+`,
+	})
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("build-tagged variants must not collide: %v", err)
+	}
+	if diags := Run(pkgs, All()); len(diags) != 0 {
+		t.Errorf("want no diagnostics, got %v", diags)
+	}
+}
+
+// TestByName checks CLI analyzer selection: valid comma lists resolve,
+// unknown or empty selections error.
+func TestByName(t *testing.T) {
+	as, err := ByName("hotalloc, goleak")
+	if err != nil {
+		t.Fatalf("valid selection: %v", err)
+	}
+	if len(as) != 2 || as[0].Name != "hotalloc" || as[1].Name != "goleak" {
+		t.Errorf("want [hotalloc goleak], got %v", as)
+	}
+	if _, err := ByName("no-such-analyzer"); err == nil {
+		t.Error("unknown analyzer must error")
+	}
+	if _, err := ByName(" , "); err == nil {
+		t.Error("empty selection must error")
+	}
+}
+
+// TestRenderers pins the human-readable forms used in diagnostics.
+func TestRenderers(t *testing.T) {
+	kinds := map[CallKind]string{EdgeCall: "call", EdgeMethodValue: "method value", EdgeGo: "go", CallKind(99): "CallKind(99)"}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("CallKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	d := Diagnostic{Analyzer: "hotalloc", Message: "boom"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "x.go", 3, 7
+	if got := d.String(); got != "x.go:3:7: [hotalloc] boom" {
+		t.Errorf("Diagnostic.String() = %q", got)
+	}
+}
+
+// TestFindModuleRoot checks go.mod discovery from a nested directory
+// and the error when no module encloses the path.
+func TestFindModuleRoot(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module tmpfix\n\ngo 1.24\n",
+		"lib/lib.go": "package lib\n",
+	})
+	root, err := FindModuleRoot(filepath.Join(dir, "lib"))
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	if root != dir {
+		t.Errorf("root = %q, want %q", root, dir)
+	}
+	if _, err := FindModuleRoot("/proc/self"); err == nil {
+		t.Error("module-less path must error")
+	}
+}

@@ -1,0 +1,93 @@
+// Package hotfix is a fixture: positive and negative cases for the
+// hotalloc whole-module allocation analyzer.
+package hotfix
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Thing is an arbitrary allocatable record.
+type Thing struct{ X int }
+
+// lint:hotpath fixture hot root: must be transitively allocation-free
+func Hot(buf []int, a, b string, n int) []int {
+	buf = append(buf[:0], n) // negative: self-append recycle idiom
+	tmp := make([]int, n)    // want hotalloc
+	_ = tmp
+	f := func() {} // want hotalloc
+	f()            // negative: the closure's creation is the allocation, not the call
+	go spin()      // want hotalloc
+	box := any(n)  // want hotalloc
+	_ = box
+	s := a + b // want hotalloc
+	_ = s
+	t := Cold() // negative: traversal stops at the lint:coldpath boundary
+	_ = t
+	if _, err := HotErr(n); err != nil {
+		return buf
+	}
+	return appendFresh(buf, n)
+}
+
+// appendFresh is unannotated but reached from Hot, so it is checked too.
+func appendFresh(buf []int, n int) []int {
+	out := []int{n}            // want hotalloc
+	return append(buf, out...) // want hotalloc
+}
+
+// spin terminates immediately; it exists so the go statement has a
+// resolvable, leak-free target (hotalloc still flags the spawn).
+func spin() {}
+
+// lint:coldpath fixture telemetry boundary: allocations here are fine
+func Cold() *Thing { return &Thing{} }
+
+// HotErr allocates only on its failure path, which is not steady state.
+func HotErr(n int) (int, error) {
+	if n < 0 {
+		msg := fmt.Sprintf("bad %d", n) // negative: error-return branch is cold
+		return 0, errors.New(msg)
+	}
+	if n == 0 {
+		return 0, nil // nil-error branch stays hot
+	}
+	if n > 1<<10 {
+		s := fmt.Sprint(n) // negative: the nested block ends in an error return
+		{
+			return 0, errors.New(s)
+		}
+	}
+	return n, nil
+}
+
+// EqF32 is a float-eq case unrelated to hot paths; it lives here so the
+// fixture covers the float32 flavor too.
+func EqF32(a, b float32) bool {
+	return a == b // want float-eq
+}
+
+// lint:hotpath fixture hot root: conversions, formatting, panic blocks
+func HotConv(b []byte, s string, n int) int {
+	bs := []byte(s)               // want hotalloc
+	ss := string(b)               // want hotalloc
+	msg := fmt.Sprintf("n=%d", n) // want hotalloc
+	id := strconv.Itoa(n)         // want hotalloc
+	if strings.Compare(s, id) == 0 {
+		return 0 // negative: non-allocating stdlib calls pass
+	}
+	if n < 0 {
+		why := fmt.Sprintf("bad %d", n) // negative: the block ends in panic, so it is cold
+		panic(why)                      // want panic-in-library
+	}
+	if n > 1<<20 {
+		big := fmt.Sprint(n) // negative: nested-block panic termination
+		{
+			_ = big
+			panic("huge") // want panic-in-library
+		}
+	}
+	return len(bs) + len(ss) + len(msg)
+}

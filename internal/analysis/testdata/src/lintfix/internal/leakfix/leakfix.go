@@ -1,0 +1,159 @@
+// Package leakfix is a fixture: positive and negative cases for the
+// goleak termination-path analyzer.
+package leakfix
+
+// step does a unit of work.
+func step() {}
+
+// forever has no exit; flagged at its spawn site, not here.
+func forever() {
+	for {
+		step()
+	}
+}
+
+var dynamic func()
+
+// SpawnLoop spawns one goroutine with no termination path and one with
+// a done-channel arm.
+func SpawnLoop(done chan struct{}) {
+	go func() {
+		for { // want goleak
+			step()
+		}
+	}()
+	go func() { // negative: the select's done arm returns
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// SpawnSend sends without a cancellation arm: the goroutine outlives a
+// vanished receiver.
+func SpawnSend(ch chan int) {
+	go func() {
+		ch <- 1 // want goleak
+	}()
+}
+
+// SpawnSelect is the negative case: the send sits in a select with a
+// done arm.
+func SpawnSelect(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-done:
+		}
+	}()
+}
+
+// SpawnDynamic spawns through a function value the analyzer cannot
+// resolve.
+func SpawnDynamic() {
+	go dynamic() // want goleak
+}
+
+// SpawnNamed spawns a named function with no exit; reported here, at
+// the spawn, where the suppression context lives.
+func SpawnNamed() {
+	go forever() // want goleak
+}
+
+// SpawnSwitchReturn is the negative case: a switch arm returns.
+func SpawnSwitchReturn(c chan int) {
+	go func() {
+		for {
+			switch {
+			case len(c) > 0:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// SpawnLabeledBreak is the negative case: the labeled break leaves the
+// outer loop.
+func SpawnLabeledBreak() {
+	go func() {
+	outer:
+		for {
+			for {
+				break outer
+			}
+		}
+		step()
+	}()
+}
+
+// SpawnBreakBindsSwitch is positive: the unlabeled break leaves the
+// switch, not the loop, so the loop has no exit.
+func SpawnBreakBindsSwitch(c chan int) {
+	go func() {
+		for { // want goleak
+			switch {
+			case len(c) > 0:
+				break
+			}
+		}
+	}()
+}
+
+// SpawnRangeInner is positive: the inner break binds to the range loop.
+func SpawnRangeInner(items []int) {
+	go func() {
+		for { // want goleak
+			for range items {
+				break
+			}
+		}
+	}()
+}
+
+// SpawnGoto is the negative case: goto is conservatively an exit.
+func SpawnGoto(c chan int) {
+	go func() {
+		for {
+			if len(c) == 0 {
+				goto done
+			}
+			step()
+		}
+	done:
+		step()
+	}()
+}
+
+// SpawnTypeSwitch is the negative case: a type-switch arm returns.
+func SpawnTypeSwitch(v interface{}) {
+	go func() {
+		for {
+			switch v.(type) {
+			case int:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// SpawnPanicExit is the negative case for goleak: a panic is a
+// termination path, if a rude one.
+func SpawnPanicExit(c chan int) {
+	go func() {
+		for {
+			if len(c) > 100 {
+				panic("overflow") // want panic-in-library
+			}
+			step()
+		}
+	}()
+}

@@ -1,0 +1,40 @@
+// Package lockdep is a fixture dependency: functions that block in
+// every way the lockorder analyzer classifies, for lockfix to call
+// while holding a mutex.
+package lockdep
+
+import "sync"
+
+// Wait parks the goroutine until someone receives.
+func Wait(ch chan int) {
+	ch <- 1
+}
+
+// Recv blocks on a channel receive.
+func Recv(ch chan int) int {
+	return <-ch
+}
+
+// Drain blocks ranging over a channel until it closes.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Sel blocks in a select with no default.
+func Sel(a, b chan int) {
+	select {
+	case <-a:
+	case b <- 1:
+	}
+}
+
+// Join blocks on a WaitGroup.
+func Join(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// Indirect blocks one call deep; only the module fixpoint sees it.
+func Indirect(ch chan int) {
+	Wait(ch)
+}

@@ -1,0 +1,9 @@
+package netproto
+
+import "time"
+
+// NowSec reads the wall clock — legitimate here (the package is exempt
+// from the determinism rule) but tainted for detflow callers.
+func NowSec() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

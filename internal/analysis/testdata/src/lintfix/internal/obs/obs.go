@@ -1,0 +1,15 @@
+// Package obs is a fixture sink package: its basename matches the
+// repo's telemetry package, so detflow treats Tracer methods as sinks.
+package obs
+
+// Event is a replayed trace record.
+type Event struct{ T float64 }
+
+// Tracer ingests replayed telemetry.
+type Tracer struct{ last float64 }
+
+// Emit records one value.
+func (t *Tracer) Emit(v float64) { t.last = v }
+
+// EmitEvent records one event.
+func (t *Tracer) EmitEvent(e Event) { t.last = e.T }

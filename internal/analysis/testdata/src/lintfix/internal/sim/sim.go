@@ -1,0 +1,89 @@
+// Package sim is a fixture sink package: its basename matches the
+// repo's simulation package, so RequestStats is a detflow sink.
+package sim
+
+import (
+	"sort"
+
+	"lintfix/internal/netproto"
+	"lintfix/internal/obs"
+)
+
+// RequestStats is a replayed per-request artifact.
+type RequestStats struct {
+	Latency float64
+	Seq     int
+}
+
+// Order lets map iteration order pick the value that lands in the
+// replayed stats.
+func Order(m map[int]float64) RequestStats {
+	var last float64
+	for _, v := range m {
+		last = v
+	}
+	return RequestStats{Latency: last} // want detflow
+}
+
+// Sorted is the negative case: sorting the keys launders the iteration
+// order, so the emitted series is deterministic.
+func Sorted(m map[int]float64) []RequestStats {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]RequestStats, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, RequestStats{Latency: m[k], Seq: k})
+	}
+	return out
+}
+
+// FromNet receives a wall-clock value through another package: the
+// per-function determinism analyzer cannot see it, the module-wide
+// taint fixpoint can.
+func FromNet() RequestStats {
+	t := netproto.NowSec()
+	return RequestStats{Latency: t} // want detflow
+}
+
+// EmitOrder passes a map-order-dependent aggregate into a tracer sink.
+func EmitOrder(tr *obs.Tracer, m map[string]int) {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	tr.Emit(float64(n)) // want detflow
+}
+
+// EmitClean is the negative case: a pure value may be traced.
+func EmitClean(tr *obs.Tracer, x float64) {
+	tr.Emit(x * 2)
+}
+
+// Record exercises the field-write sink: a map-ordered value assigned
+// into a sink-typed struct field.
+func Record(m map[int]float64) RequestStats {
+	var rs RequestStats
+	for _, v := range m {
+		rs.Latency = v // want detflow
+	}
+	return rs
+}
+
+// SpecInit routes the taint through a var-declaration initializer.
+func SpecInit(m map[int]int) RequestStats {
+	var last int
+	for k := range m {
+		last = k
+	}
+	var lat = float64(last)
+	return RequestStats{Latency: lat} // want detflow
+}
+
+// EmitEventClean is the negative case: a sink-typed literal built from
+// pure values may cross into the tracer.
+func EmitEventClean(tr *obs.Tracer, x float64) {
+	tr.EmitEvent(obs.Event{T: x})
+}

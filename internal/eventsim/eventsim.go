@@ -96,6 +96,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		// lint:allow panic-in-library scheduling into the past would silently reorder causality; no caller can recover meaningfully
 		panic("eventsim: scheduling event in the past")
 	}
+	// lint:allow hotalloc one timer event per admitted session; part of the admission budget
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)

@@ -129,6 +129,7 @@ func runAll(cfgs []sim.Config, workers int) ([]*sim.Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// lint:allow goleak bounded-concurrency semaphore; wg.Wait joins every worker before runAll returns
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i], errs[i] = sim.Run(cfgs[i])

@@ -643,11 +643,13 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 				defer wg.Done()
 				if m == p.addr {
 					resp := p.handleLookup(request{Service: string(svc)})
+					// lint:allow goleak results is buffered to the exact fan-out and each goroutine sends at most once
 					results <- lookupResult{svc: si, offers: resp.Offers}
 					return
 				}
 				resp, err := p.rpcRetry(m, request{Type: msgLookup, Service: string(svc)}, p.cfg.RPCTimeout)
 				if err == nil {
+					// lint:allow goleak results is buffered to the exact fan-out and each goroutine sends at most once
 					results <- lookupResult{svc: si, offers: resp.Offers}
 				}
 			}(si, svc, m)
@@ -752,10 +754,12 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 			DurationSec: duration.Seconds(),
 		}, p.cfg.RPCTimeout)
 		if tr != nil {
+			// lint:allow detflow netproto traces record real-network outcomes; bit-for-bit replay is a sim-only guarantee
 			ev := obs.Event{Kind: obs.KindReserve, Req: rid, Peer: host, Inst: in.ID, OK: err == nil}
 			if err != nil {
-				ev.Err = err.Error()
+				ev.Err = err.Error() // lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
 			}
+			// lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
 			tr.Emit(ev)
 		}
 		if err != nil {
@@ -776,6 +780,7 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	}
 	if tr != nil {
 		tr.Emit(obs.Event{Kind: obs.KindAdmit, Req: rid, Session: sid,
+			// lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
 			Path: append([]string(nil), chain...), OK: true})
 	}
 

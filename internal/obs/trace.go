@@ -126,6 +126,7 @@ func NewTracer(w io.Writer, clock Clock) *Tracer {
 
 // Emit stamps and writes one event. The caller fills every field except
 // Seq and T.
+// lint:coldpath tracing is bench-gated off in the steady state; an enabled sink may allocate
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
