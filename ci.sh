@@ -17,7 +17,13 @@
 #             the pre-fault-plane baseline (91.0%); internal/obs (the
 #             telemetry plane) must stay at or above 94.0%;
 #             internal/analysis (the lint engine the other gates lean
-#             on) must stay at or above 90.0%
+#             on) must stay at or above 90.0%; internal/eventsim (the
+#             sharded scheduler the million-peer runs sit on) must stay
+#             at or above 90.0%
+#   shards    scripts/bench_shards.sh smoke: a 1-shard and a 4-shard run
+#             of the same seed must produce byte-identical output and
+#             both must complete (timings printed; full curve via
+#             scripts/bench_shards.sh → BENCH_shards.json)
 #   bench     the Telemetry benchmarks run once; they fail if the
 #             disabled-sink hot paths allocate. The request hot-path
 #             benchmarks (QCS, Discover, Aggregate, SimMinute, the probe
@@ -57,7 +63,8 @@ echo '>> netproto coverage gate'
 cover_out=$(mktemp /tmp/qsa_netproto_cover.XXXXXX)
 obs_cover_out=$(mktemp /tmp/qsa_obs_cover.XXXXXX)
 analysis_cover_out=$(mktemp /tmp/qsa_analysis_cover.XXXXXX)
-trap 'rm -f "$cover_out" "$obs_cover_out" "$analysis_cover_out"' EXIT
+eventsim_cover_out=$(mktemp /tmp/qsa_eventsim_cover.XXXXXX)
+trap 'rm -f "$cover_out" "$obs_cover_out" "$analysis_cover_out" "$eventsim_cover_out"' EXIT
 go test -short -coverprofile="$cover_out" ./internal/netproto/ > /dev/null
 cover=$(go tool cover -func="$cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 awk -v c="$cover" 'BEGIN {
@@ -89,6 +96,20 @@ awk -v c="$analysis_cover" 'BEGIN {
 	}
 	print "analysis coverage " c "% (baseline 90.0%)"
 }'
+
+echo '>> eventsim (sharded scheduler) coverage gate'
+go test -short -coverprofile="$eventsim_cover_out" ./internal/eventsim/ > /dev/null
+eventsim_cover=$(go tool cover -func="$eventsim_cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+awk -v c="$eventsim_cover" 'BEGIN {
+	if (c + 0 < 90.0) {
+		print "eventsim coverage " c "% dropped below the 90.0% baseline"
+		exit 1
+	}
+	print "eventsim coverage " c "% (baseline 90.0%)"
+}'
+
+echo '>> shard determinism smoke'
+scripts/bench_shards.sh smoke
 
 echo '>> telemetry zero-allocation bench smoke'
 go test -run '^$' -bench Telemetry -benchtime=1x ./internal/obs/ ./internal/netproto/ > /dev/null

@@ -37,6 +37,9 @@ func main() {
 		teleOut  = flag.String("telemetry", "", "write the JSONL decision-trace stream to this file (qsastat reads it)")
 		metrics  = flag.Bool("metrics", false, "print the runtime metrics snapshot after the run")
 		metOut   = flag.String("metrics-out", "", "write the metrics snapshot as JSON to this file (qsastat -metrics reads it)")
+		shards   = flag.Int("shards", 0, "event lanes for the sharded engine (0 = classic single-heap engine; results are identical for every value > 0)")
+		workers  = flag.Int("shard-workers", 0, "prepare worker goroutines (0 = min(shards, GOMAXPROCS), 1 = inline serial shadow)")
+		lookhd   = flag.Float64("shard-lookahead", 0, "conservative barrier window in simulated minutes (0 = default)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,9 @@ func main() {
 	cfg.SampleWindow = *window
 	cfg.EnableRecovery = *recovery
 	cfg.Lookup = *lookup
+	cfg.Shards = *shards
+	cfg.ShardWorkers = *workers
+	cfg.ShardLookahead = *lookhd
 
 	var teleFile *os.File
 	if *teleOut != "" {

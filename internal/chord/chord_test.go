@@ -502,3 +502,114 @@ func TestNodeAccessors(t *testing.T) {
 		t.Fatalf("Items = %d", n.Items())
 	}
 }
+
+// refreshAllSlow is the pre-optimization RefreshAll: one RefreshNode per
+// node. It is the oracle for the linear-time sweep.
+func refreshAllSlow(r *Ring) {
+	for _, n := range r.sorted {
+		r.RefreshNode(n)
+	}
+}
+
+// TestRefreshAllMatchesPerNodeRefresh pins the metamorphic equivalence:
+// the O(64·N) RefreshAll sweep must compute exactly the fingers and
+// successor lists that per-node RefreshNode calls produce, across ring
+// sizes that exercise the wrap split and short rings.
+func TestRefreshAllMatchesPerNodeRefresh(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 9, 64, 257} {
+		rng := xrand.New(uint64(n)*77 + 1)
+		r := NewRing(Config{})
+		for i := 0; i < n; i++ {
+			if _, err := r.JoinRandom(fmt.Sprintf("p%d", i), rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		refreshAllSlow(r)
+		wantFingers := make([][]*Node, n)
+		wantSucc := make([][]*Node, n)
+		for j, nd := range r.sorted {
+			wantFingers[j] = append([]*Node(nil), nd.fingers...)
+			wantSucc[j] = append([]*Node(nil), nd.succList...)
+		}
+		r.RefreshAll()
+		for j, nd := range r.sorted {
+			for i := range nd.fingers {
+				if nd.fingers[i] != wantFingers[j][i] {
+					t.Fatalf("n=%d node %d finger %d: fast %v want %v", n, j, i, nd.fingers[i].id, wantFingers[j][i].id)
+				}
+			}
+			if len(nd.succList) != len(wantSucc[j]) {
+				t.Fatalf("n=%d node %d succList len %d want %d", n, j, len(nd.succList), len(wantSucc[j]))
+			}
+			for i := range nd.succList {
+				if nd.succList[i] != wantSucc[j][i] {
+					t.Fatalf("n=%d node %d succ %d mismatch", n, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinBulkMatchesSequentialJoins pins that bulk population draws the
+// same ids and ends with the same routing state as sequential JoinRandom
+// calls followed by a full refresh.
+func TestJoinBulkMatchesSequentialJoins(t *testing.T) {
+	const n = 120
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("p%d", i)
+	}
+
+	seq := NewRing(Config{})
+	rngA := xrand.New(31)
+	for _, l := range labels {
+		if _, err := seq.JoinRandom(l, rngA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq.RefreshAll()
+
+	bulk := NewRing(Config{})
+	rngB := xrand.New(31)
+	nodes, err := bulk.JoinBulk(labels, rngB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != n {
+		t.Fatalf("JoinBulk returned %d nodes, want %d", len(nodes), n)
+	}
+	if rngA.Uint64() != rngB.Uint64() {
+		t.Fatal("bulk join consumed a different number of rng draws than sequential joins")
+	}
+	if seq.Size() != bulk.Size() {
+		t.Fatalf("sizes differ: %d vs %d", seq.Size(), bulk.Size())
+	}
+	for j := range seq.sorted {
+		a, b := seq.sorted[j], bulk.sorted[j]
+		if a.id != b.id || a.label != b.label {
+			t.Fatalf("node %d: (%d,%s) vs (%d,%s)", j, a.id, a.label, b.id, b.label)
+		}
+		for i := range a.fingers {
+			if a.fingers[i].id != b.fingers[i].id {
+				t.Fatalf("node %d finger %d differs", j, i)
+			}
+		}
+	}
+}
+
+// TestJoinBulkRefusesDataBearingRing pins the precondition: bulk join is
+// for initial population only.
+func TestJoinBulkRefusesDataBearingRing(t *testing.T) {
+	rng := xrand.New(3)
+	r := NewRing(Config{})
+	a, err := r.JoinRandom("a", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put(a, 42, "item", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.JoinBulk([]string{"b"}, rng); err == nil {
+		t.Fatal("JoinBulk on a data-bearing ring should fail")
+	}
+}

@@ -16,26 +16,76 @@ import "container/heap"
 // Time is a point in simulated time, in minutes.
 type Time = float64
 
+// Handle is the cancellation surface of a scheduled event. Both the
+// single-threaded Engine's *Event and the sharded engine's *ShardEvent
+// (and both tickers) implement it, so callers that only need to cancel —
+// the session manager's expiry timers, the simulator's workload tickers —
+// work against either engine.
+type Handle interface {
+	// Cancel prevents a still-pending handler from running. Cancelling an
+	// already executed or already cancelled event is provably inert: it
+	// does not change the event's state, and it cannot touch whatever
+	// event now occupies the recycled queue slot.
+	Cancel()
+	// Cancelled reports whether Cancel arrived in time to suppress the
+	// handler. An event that already ran reports false forever.
+	Cancelled() bool
+}
+
+// Scheduler is the scheduling surface shared by the Engine and the
+// ShardedEngine. The method names are distinct from the engines' concrete
+// helpers (At, After, Every) so both can keep their richer concrete
+// signatures while satisfying one interface.
+type Scheduler interface {
+	Now() Time
+	Schedule(t Time, fn func()) Handle
+	ScheduleAfter(d float64, fn func()) Handle
+	ScheduleEvery(first, period float64, fn func()) Handle
+}
+
+// Runner extends Scheduler with the execution loop — what a closed-loop
+// simulation needs to drive either engine.
+type Runner interface {
+	Scheduler
+	RunUntil(deadline Time)
+	Run()
+	Step() bool
+	Executed() uint64
+	Pending() int
+}
+
+// Lifecycle states of a scheduled event. The explicit state machine is
+// what makes a stale Cancel provably inert: once an event has executed,
+// its state is pinned to stateDone and Cancel refuses to touch it, even
+// though its old heap slot has long been recycled by another event.
+const (
+	stateScheduled int8 = iota
+	stateCancelled
+	stateDone
+)
+
 // Event is a scheduled callback. Handlers run with the clock set to the
 // event's time and may schedule further events.
 type Event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among equal timestamps
-	fn   func()
-	dead bool
-	idx  int // heap index, -1 when popped
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	fn    func()
+	state int8
+	idx   int // heap index, -1 when popped
 }
 
 // Cancel marks the event so its handler will not run. Cancelling an already
-// executed or cancelled event is a no-op.
+// executed or cancelled event is a no-op: the state machine only admits
+// the scheduled→cancelled transition, so a stale handle kept past
+// execution can never perturb the queue slot its event once occupied.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+	if e != nil && e.state == stateScheduled {
+		e.state = stateCancelled
 	}
 }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e != nil && e.dead }
+// Cancelled reports whether Cancel arrived before the handler ran.
+func (e *Event) Cancelled() bool { return e != nil && e.state == stateCancelled }
 
 // eventHeap orders events by (time, seq).
 type eventHeap []*Event
@@ -96,7 +146,6 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		// lint:allow panic-in-library scheduling into the past would silently reorder causality; no caller can recover meaningfully
 		panic("eventsim: scheduling event in the past")
 	}
-	// lint:allow hotalloc one timer event per admitted session; part of the admission budget
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
@@ -144,15 +193,32 @@ func (t *Ticker) Cancel() {
 	t.ev.Cancel()
 }
 
+// Cancelled reports whether the ticker has been stopped.
+func (t *Ticker) Cancelled() bool { return t.dead }
+
+// Schedule adapts At to the Scheduler interface.
+func (e *Engine) Schedule(t Time, fn func()) Handle { return e.At(t, fn) }
+
+// ScheduleAfter adapts After to the Scheduler interface.
+func (e *Engine) ScheduleAfter(d float64, fn func()) Handle { return e.After(d, fn) }
+
+// ScheduleEvery adapts Every to the Scheduler interface.
+func (e *Engine) ScheduleEvery(first, period float64, fn func()) Handle {
+	return e.Every(first, period, fn)
+}
+
 // Step executes the single next event, if any, advancing the clock to its
 // timestamp. It reports whether an event ran (cancelled events are skipped
-// and do not count).
+// and do not count). The event transitions to executed *before* its
+// handler runs, so even a Cancel issued from inside the handler itself is
+// inert.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
+		if ev.state != stateScheduled {
 			continue
 		}
+		ev.state = stateDone
 		e.now = ev.at
 		e.executed++
 		ev.fn()
@@ -166,9 +232,9 @@ func (e *Engine) Step() bool {
 // deadline (never backwards).
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.queue) > 0 {
-		// Peek: skip dead events without advancing time.
+		// Peek: skip cancelled events without advancing time.
 		next := e.queue[0]
-		if next.dead {
+		if next.state != stateScheduled {
 			heap.Pop(&e.queue)
 			continue
 		}

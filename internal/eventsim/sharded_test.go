@@ -1,0 +1,587 @@
+package eventsim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// --- Reference model -------------------------------------------------
+//
+// refModel is an independently written executor of the sharded engine's
+// contract: events execute one at a time in (at, logical, seq) order,
+// cancellation suppresses pending handlers, executed events are immune
+// to Cancel. It shares no code with the engines, so agreement between
+// the two is evidence, not tautology.
+
+type refEvent struct {
+	at        float64
+	logical   int
+	seq       uint64
+	fn        func()
+	cancelled bool
+	done      bool
+}
+
+func (r *refEvent) Cancel() {
+	if !r.done && !r.cancelled {
+		r.cancelled = true
+	}
+}
+func (r *refEvent) Cancelled() bool { return r.cancelled }
+
+type refModel struct {
+	clock  float64
+	seq    uint64
+	events []*refEvent
+}
+
+func (m *refModel) now() float64 { return m.clock }
+
+func (m *refModel) schedule(logical int, at float64, fn func()) Handle {
+	ev := &refEvent{at: at, logical: logical, seq: m.seq, fn: fn}
+	m.seq++
+	m.events = append(m.events, ev)
+	return ev
+}
+
+func (m *refModel) run() {
+	for {
+		var best *refEvent
+		for _, ev := range m.events {
+			if ev.done || ev.cancelled {
+				continue
+			}
+			if best == nil || ev.at < best.at ||
+				(ev.at == best.at && (ev.logical < best.logical ||
+					(ev.logical == best.logical && ev.seq < best.seq))) {
+				best = ev
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.done = true
+		m.clock = best.at
+		best.fn()
+	}
+}
+
+// testSched abstracts the engines and the model so one scenario script
+// drives all of them.
+type testSched interface {
+	now() float64
+	schedule(logical int, at float64, fn func()) Handle
+}
+
+type shardedSched struct{ e *ShardedEngine }
+
+func (s shardedSched) now() float64 { return s.e.Now() }
+func (s shardedSched) schedule(logical int, at float64, fn func()) Handle {
+	return s.e.AtShard(logical, at, fn)
+}
+
+type heapSched struct{ e *Engine }
+
+func (s heapSched) now() float64 { return s.e.Now() }
+func (s heapSched) schedule(logical int, at float64, fn func()) Handle {
+	// The single-heap engine has no lanes; callers must pass logical 0.
+	return s.e.Schedule(at, fn)
+}
+
+// --- Scenario generator ----------------------------------------------
+
+// scenario is a deterministic schedule script: every event's behaviour —
+// what it appends to the log, what it schedules next, what it cancels —
+// is a pure function of (seed, event id). Timestamps are drawn from a
+// tiny grid so equal times across lanes are the norm, not the exception.
+type scenario struct {
+	seed    uint64
+	lanes   int // logical lanes used by the script
+	initial int // events scheduled up front
+	maxID   int // hard cap on total events (stops runaway growth)
+}
+
+// play runs the scenario on s and returns the execution log.
+func (sc scenario) play(s testSched) []string {
+	var log []string
+	handles := make(map[int]Handle)
+	nextID := 0
+	var spawn func(id int)
+	spawn = func(id int) {
+		rng := xrand.New(xrand.MixIndex(sc.seed, uint64(id)))
+		// Behaviour draws are fixed per id regardless of engine.
+		nKids := rng.Intn(3)             // 0..2 children
+		cancelTarget := rng.Intn(4) == 0 // cancel some earlier event
+		lane := rng.Intn(sc.lanes)
+		_ = lane // the event's own lane was chosen by its parent
+		log = append(log, fmt.Sprintf("%d@%.2f", id, s.now()))
+		if cancelTarget && id > 0 {
+			victim := rng.Intn(id)
+			if h := handles[victim]; h != nil {
+				h.Cancel()
+			}
+		}
+		for k := 0; k < nKids && nextID < sc.maxID; k++ {
+			kidID := nextID
+			nextID++
+			kidLane := rng.Intn(sc.lanes)
+			// Time grid: now, now+0.5, or now+1 — schedule-at-current-time
+			// and cross-lane ties both occur constantly.
+			dt := float64(rng.Intn(3)) * 0.5
+			handles[kidID] = s.schedule(kidLane, s.now()+dt, func() { spawn(kidID) })
+		}
+	}
+	rng := xrand.New(sc.seed)
+	for i := 0; i < sc.initial; i++ {
+		id := nextID
+		nextID++
+		lane := rng.Intn(sc.lanes)
+		at := float64(rng.Intn(5)) * 0.5
+		handles[id] = s.schedule(lane, at, func() { spawn(id) })
+	}
+	switch e := s.(type) {
+	case shardedSched:
+		e.e.RunUntil(1e6)
+		e.e.Run()
+	case heapSched:
+		e.e.Run()
+	case *refModel:
+		e.run()
+	}
+	return log
+}
+
+func logsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedMatchesReferenceModel replays randomized scenarios — heavy
+// on equal timestamps, cross-lane cancels, and schedule-at-current-time
+// — on the reference model and on the sharded engine at every
+// (shards, workers, lookahead) combination. All logs must be identical.
+func TestShardedMatchesReferenceModel(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		sc := scenario{seed: seed, lanes: 5, initial: 8, maxID: 200}
+		ref := sc.play(&refModel{})
+		if len(ref) == 0 {
+			t.Fatalf("seed %d: empty reference log", seed)
+		}
+		for _, shards := range []int{1, 2, 3, 4, 8} {
+			for _, workers := range []int{1, 2, shards} {
+				for _, la := range []float64{0.1, 0.5, 1000} {
+					e := NewSharded(ShardedConfig{Shards: shards, Lookahead: la, Parallel: workers})
+					got := sc.play(shardedSched{e})
+					e.Close()
+					if !logsEqual(ref, got) {
+						t.Fatalf("seed %d shards=%d workers=%d lookahead=%g: log diverged from model\nref: %v\ngot: %v",
+							seed, shards, workers, la, ref, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSingleLaneMatchesHeapEngine pins the sharded engine to the
+// classic single-heap engine: with every event on logical lane 0 the
+// total orders (at, 0, seq) and (at, seq) coincide, so the two engines
+// must produce identical logs.
+func TestShardedSingleLaneMatchesHeapEngine(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		sc := scenario{seed: seed, lanes: 1, initial: 6, maxID: 120}
+		ref := sc.play(heapSched{New()})
+		for _, shards := range []int{1, 4} {
+			e := NewSharded(ShardedConfig{Shards: shards, Parallel: shards})
+			got := sc.play(shardedSched{e})
+			e.Close()
+			if !logsEqual(ref, got) {
+				t.Fatalf("seed %d shards=%d: diverged from heap engine\nref: %v\ngot: %v",
+					seed, shards, ref, got)
+			}
+		}
+	}
+}
+
+// --- Targeted adversarial cases --------------------------------------
+
+// TestEqualTimestampsAcrossShards: events at the same instant on
+// different logical lanes commit in lane order, then seq order,
+// regardless of the physical shard count.
+func TestEqualTimestampsAcrossShards(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		e := NewSharded(ShardedConfig{Shards: shards, Parallel: 1})
+		var got []int
+		// Schedule in deliberately scrambled lane order; seq breaks the
+		// tie between the two lane-1 events.
+		e.AtShard(3, 5, func() { got = append(got, 3) })
+		e.AtShard(1, 5, func() { got = append(got, 10) })
+		e.AtShard(0, 5, func() { got = append(got, 0) })
+		e.AtShard(1, 5, func() { got = append(got, 11) })
+		e.AtShard(2, 5, func() { got = append(got, 2) })
+		e.Run()
+		want := []int{0, 10, 11, 2, 3}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("shards=%d: order = %v, want %v", shards, got, want)
+		}
+	}
+}
+
+// TestCancelFromOtherShard: a handler on one lane cancels a same-time
+// event on another lane. The victim is later in the total order, so the
+// cancel must always win — on every shard count.
+func TestCancelFromOtherShard(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		e := NewSharded(ShardedConfig{Shards: shards, Parallel: 1})
+		ran := false
+		victim := e.AtShard(3, 7, func() { ran = true })
+		e.AtShard(0, 7, func() { victim.Cancel() })
+		e.RunUntil(100)
+		if ran {
+			t.Fatalf("shards=%d: cancelled cross-shard event ran", shards)
+		}
+		if !victim.Cancelled() {
+			t.Fatalf("shards=%d: victim not reported cancelled", shards)
+		}
+	}
+}
+
+// TestScheduleAtCurrentTime: handlers scheduling at exactly Now() —
+// inside and past the current epoch horizon — run at the same timestamp,
+// after the scheduler, in seq order.
+func TestScheduleAtCurrentTime(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		e := NewSharded(ShardedConfig{Shards: shards, Parallel: shards})
+		var got []string
+		e.AtShard(1, 2, func() {
+			got = append(got, "a")
+			e.AtShard(0, e.Now(), func() { got = append(got, "a0") })
+			e.AtShard(3, e.Now(), func() { got = append(got, "a3") })
+		})
+		e.AtShard(2, 2, func() { got = append(got, "b") })
+		e.RunUntil(10)
+		e.Close()
+		// At t=2: lane 1 "a" first; its children (logical 0 and 3, later
+		// seq) land at t=2 too — logical 0 sorts before lane 2's "b",
+		// logical 3 after.
+		want := "[a a0 b a3]"
+		if fmt.Sprint(got) != want {
+			t.Fatalf("shards=%d: order = %v, want %v", shards, got, want)
+		}
+	}
+}
+
+// TestShardEventCancelAfterExecutionInert is the regression test for the
+// event-reuse hazard: a handle retained past execution must be inert —
+// Cancel must not resurrect, suppress, or report anything.
+func TestShardEventCancelAfterExecutionInert(t *testing.T) {
+	e := NewSharded(ShardedConfig{Shards: 2, Parallel: 1})
+	runs := 0
+	h := e.AtShard(0, 1, func() { runs++ })
+	e.RunUntil(1)
+	h.Cancel() // stale cancel, long after execution
+	if h.Cancelled() {
+		t.Fatal("executed event reports Cancelled after a stale Cancel")
+	}
+	// The heap slot is long recycled; new events must be unaffected.
+	ran := false
+	e.AtShard(0, 2, func() { ran = true })
+	e.Run()
+	if !ran || runs != 1 {
+		t.Fatalf("stale Cancel perturbed the queue: runs=%d ran=%v", runs, ran)
+	}
+}
+
+// TestShardEventSelfCancelInert: an event cancelling itself from its own
+// handler is a no-op — the state was pinned to executed before fn ran.
+func TestShardEventSelfCancelInert(t *testing.T) {
+	e := NewSharded(ShardedConfig{Shards: 1, Parallel: 1})
+	var h *ShardEvent
+	ran := false
+	h = e.AtShard(0, 1, func() {
+		ran = true
+		h.Cancel()
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if h.Cancelled() {
+		t.Fatal("self-Cancel during execution flipped state")
+	}
+}
+
+// TestShardedTickerCancel mirrors the single-threaded ticker contract.
+func TestShardedTickerCancel(t *testing.T) {
+	e := NewSharded(ShardedConfig{Shards: 2, Parallel: 1})
+	n := 0
+	var tk *ShardTicker
+	tk = e.Every(1, 1, func() {
+		n++
+		if n == 3 {
+			tk.Cancel()
+		}
+	})
+	e.RunUntil(100)
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+	if !tk.Cancelled() {
+		t.Fatal("ticker not reported cancelled")
+	}
+}
+
+// TestPrepareStages: serialPrep runs before prepare, prepare before fn,
+// each exactly once, for claimed and unclaimed events alike.
+func TestPrepareStages(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := NewSharded(ShardedConfig{Shards: 4, Parallel: workers, Lookahead: 10})
+		type rec struct{ serial, prep, committed int }
+		recs := make([]rec, 8)
+		order := make([]string, 0, 24)
+		for i := 0; i < 8; i++ {
+			i := i
+			e.AtPrepared(i%4, float64(1+i%3), // ties across lanes
+				func() { recs[i].serial++; order = append(order, fmt.Sprintf("s%d", i)) },
+				func() { recs[i].prep++ }, // runs on workers: no shared log
+				func() { recs[i].committed++; order = append(order, fmt.Sprintf("c%d", i)) })
+		}
+		e.RunUntil(100)
+		e.Close()
+		for i, r := range recs {
+			if r.serial != 1 || r.prep != 1 || r.committed != 1 {
+				t.Fatalf("workers=%d event %d stages ran %+v, want 1 each", workers, i, r)
+			}
+		}
+		// With lookahead 10 every event is claimed in the first epoch:
+		// all serial preps precede all commits, both in merged order.
+		if len(order) != 16 {
+			t.Fatalf("workers=%d: order log %v", workers, order)
+		}
+		for i := 0; i < 8; i++ {
+			if order[i][0] != 's' || order[8+i][0] != 'c' {
+				t.Fatalf("workers=%d: serial preps did not precede commits: %v", workers, order)
+			}
+			if order[i][1:] != order[8+i][1:] {
+				t.Fatalf("workers=%d: serial-prep order differs from commit order: %v", workers, order)
+			}
+		}
+	}
+}
+
+// TestSchedulingFromPreparePanics: prepares are speculative; observable
+// effects like scheduling must be rejected loudly.
+func TestSchedulingFromPreparePanics(t *testing.T) {
+	e := NewSharded(ShardedConfig{Shards: 1, Parallel: 1, Lookahead: 10})
+	var recovered any
+	e.AtPrepared(0, 1,
+		nil,
+		func() {
+			defer func() { recovered = recover() }()
+			e.AtShard(0, 5, func() {})
+		},
+		func() {})
+	e.RunUntil(10)
+	e.Close()
+	if recovered == nil {
+		t.Fatal("scheduling from a prepare stage did not panic")
+	}
+}
+
+// TestShardWorkersExit: Close terminates every lane worker — no leaked
+// goroutines after a parallel run.
+func TestShardWorkersExit(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 4; round++ {
+		e := NewSharded(ShardedConfig{Shards: 8, Parallel: 8, Lookahead: 10})
+		for i := 0; i < 64; i++ {
+			i := i
+			e.AtPrepared(i%8, float64(i%5), nil, func() {}, func() {})
+		}
+		e.RunUntil(100)
+		e.Close()
+		e.Close() // second Close is a no-op
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardedPendingExecuted sanity-checks the bookkeeping surface.
+func TestShardedPendingExecuted(t *testing.T) {
+	e := NewSharded(ShardedConfig{Shards: 3, Parallel: 1})
+	for i := 0; i < 9; i++ {
+		e.AtShard(i%3, float64(i), func() {})
+	}
+	if e.Pending() != 9 {
+		t.Fatalf("Pending = %d, want 9", e.Pending())
+	}
+	e.RunUntil(3.5)
+	if e.Executed() != 4 {
+		t.Fatalf("Executed = %d, want 4", e.Executed())
+	}
+	if e.Now() != 3.5 {
+		t.Fatalf("Now = %g, want 3.5", e.Now())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.Executed() != 9 {
+		t.Fatalf("after Run: pending=%d executed=%d", e.Pending(), e.Executed())
+	}
+}
+
+// TestShardedPastSchedulingPanics mirrors the single-heap contract.
+func TestShardedPastSchedulingPanics(t *testing.T) {
+	e := NewSharded(ShardedConfig{Shards: 2, Parallel: 1})
+	e.AtShard(0, 5, func() {})
+	e.Run()
+	for _, fn := range []func(){
+		func() { e.AtShard(0, 1, func() {}) },
+		func() { e.AtShard(-1, 10, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzShardMergeOrdering feeds arbitrary byte strings as schedule
+// scripts: each byte triple (lane, timeslot, op) schedules, nests, or
+// cancels events. The sharded engine at 4 lanes / 4 workers must replay
+// the single-lane-worker configuration byte for byte.
+func FuzzShardMergeOrdering(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{7, 0, 1, 7, 0, 2, 3, 0, 0, 3, 0, 1})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 128, 64, 32})
+	run := func(shards, workers int, script []byte) []string {
+		e := NewSharded(ShardedConfig{Shards: shards, Parallel: workers, Lookahead: 0.5})
+		var log []string
+		var handles []Handle
+		for i := 0; i+2 < len(script); i += 3 {
+			i := i
+			lane := int(script[i]) % 8
+			at := float64(script[i+1]%8) / 2
+			op := script[i+2] % 3
+			id := i
+			switch op {
+			case 0: // plain event
+				handles = append(handles, e.AtShard(lane, at, func() {
+					log = append(log, fmt.Sprintf("p%d@%.1f", id, e.Now()))
+				}))
+			case 1: // event that nests a child at the same instant
+				handles = append(handles, e.AtShard(lane, at, func() {
+					log = append(log, fmt.Sprintf("n%d@%.1f", id, e.Now()))
+					e.AtShard((lane+1)%8, e.Now(), func() {
+						log = append(log, fmt.Sprintf("k%d@%.1f", id, e.Now()))
+					})
+				}))
+			case 2: // event that cancels an earlier handle
+				handles = append(handles, e.AtShard(lane, at, func() {
+					log = append(log, fmt.Sprintf("x%d@%.1f", id, e.Now()))
+					if len(handles) > 0 {
+						handles[id/3%len(handles)].Cancel()
+					}
+				}))
+			}
+		}
+		e.RunUntil(100)
+		e.Run()
+		e.Close()
+		return log
+	}
+	f.Fuzz(func(t *testing.T, script []byte) {
+		ref := run(1, 1, script)
+		for _, cfg := range [][2]int{{2, 1}, {4, 4}, {8, 2}} {
+			got := run(cfg[0], cfg[1], script)
+			if !logsEqual(ref, got) {
+				t.Fatalf("shards=%d workers=%d diverged\nref: %v\ngot: %v", cfg[0], cfg[1], ref, got)
+			}
+		}
+	})
+}
+
+// TestShardedSchedulerAdapters drives the Scheduler-interface surface —
+// what the session manager and the simulator tickers use — through a
+// Runner-typed variable, for both engines.
+func TestShardedSchedulerAdapters(t *testing.T) {
+	for _, r := range []Runner{New(), NewSharded(ShardedConfig{Shards: 2, Parallel: 1})} {
+		var got []string
+		r.Schedule(1, func() {
+			got = append(got, "at")
+			r.ScheduleAfter(0.5, func() { got = append(got, "after") })
+		})
+		tick := r.ScheduleEvery(2, 1, func() { got = append(got, "tick") })
+		r.RunUntil(3)
+		tick.Cancel()
+		r.Run()
+		want := "[at after tick tick]"
+		if fmt.Sprint(got) != want {
+			t.Fatalf("%T: got %v, want %v", r, got, want)
+		}
+		if sh, ok := r.(*ShardedEngine); ok {
+			if sh.Shards() != 2 || sh.ParallelWorkers() != 0 {
+				t.Fatalf("accessors: shards=%d workers=%d", sh.Shards(), sh.ParallelWorkers())
+			}
+			// At/After are the concrete-sugar equivalents of Schedule*.
+			n := 0
+			sh.At(sh.Now(), func() { n++ })
+			sh.After(1, func() { n++ })
+			sh.Run()
+			if n != 2 {
+				t.Fatalf("At/After ran %d of 2", n)
+			}
+		}
+	}
+}
+
+// TestRunUntilDeterministicAcrossLookahead: commit order never depends
+// on how the epochs batch the window.
+func TestRunUntilDeterministicAcrossLookahead(t *testing.T) {
+	build := func(la float64) []float64 {
+		e := NewSharded(ShardedConfig{Shards: 4, Parallel: 1, Lookahead: la})
+		var times []float64
+		rng := xrand.New(99)
+		for i := 0; i < 100; i++ {
+			e.AtShard(rng.Intn(4), float64(rng.Intn(20))/4, func() {
+				times = append(times, e.Now())
+			})
+		}
+		e.RunUntil(10)
+		return times
+	}
+	ref := build(0.1)
+	for _, la := range []float64{0.25, 1, 100} {
+		got := build(la)
+		if !sort.Float64sAreSorted(got) {
+			t.Fatalf("lookahead %g: commit times not monotone", la)
+		}
+		if fmt.Sprint(ref) != fmt.Sprint(got) {
+			t.Fatalf("lookahead %g changed the commit sequence", la)
+		}
+	}
+}

@@ -71,6 +71,20 @@ func (c *ChordDHT) Join(label string, rng *xrand.Source) (DHTNode, error) {
 	return c.Ring.JoinRandom(label, rng)
 }
 
+// JoinBulk implements BulkJoiner: initial population in O(N log N)
+// total (one sort + one linear refresh sweep) instead of O(N²).
+func (c *ChordDHT) JoinBulk(labels []string, rng *xrand.Source) ([]DHTNode, error) {
+	nodes, err := c.Ring.JoinBulk(labels, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DHTNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = n
+	}
+	return out, nil
+}
+
 // Remove implements DHT.
 func (c *ChordDHT) Remove(n DHTNode, graceful bool) error {
 	node := n.(*chord.Node)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/chord"
 	"repro/internal/obs"
@@ -177,6 +178,13 @@ type Registry struct {
 
 	cacheHits, cacheMisses uint64
 
+	// lookupMu serializes Lookup. Chord lookups mutate routing state (the
+	// traffic-proportional auto-refresh), so when the sharded simulator
+	// speculatively prepares discovery on lane workers, concurrent Lookups
+	// must not interleave. Everything else on the registry stays
+	// single-goroutine (commit-phase only) and unguarded.
+	lookupMu sync.Mutex
+
 	// Obs mirrors cache activity into a metrics registry when wired; the
 	// zero value no-ops.
 	Obs obs.DiscoveryCounters
@@ -245,6 +253,47 @@ func (r *Registry) AddPeer(p topology.PeerID) error {
 	}
 	r.nodes[p] = n
 	r.bumpEpoch() // the join may have re-homed stored keys
+	return nil
+}
+
+// BulkJoiner is the optional DHT fast path for initial population: join
+// one node per label, drawing placement from rng exactly as sequential
+// Join calls would, with routing state brought to convergence once at
+// the end instead of per join.
+type BulkJoiner interface {
+	JoinBulk(labels []string, rng *xrand.Source) ([]DHTNode, error)
+}
+
+// AddPeers joins many peers' DHT nodes at once. Substrates implementing
+// BulkJoiner (Chord) avoid the per-join O(N) insert + refresh that makes
+// a 10⁶-peer population infeasible; others fall back to sequential
+// AddPeer. The epoch advances once per peer either way, so epoch counts
+// match the sequential path exactly.
+func (r *Registry) AddPeers(ps []topology.PeerID) error {
+	bulk, ok := r.dht.(BulkJoiner)
+	if !ok {
+		for _, p := range ps {
+			if err := r.AddPeer(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	labels := make([]string, len(ps))
+	for i, p := range ps {
+		if _, dup := r.nodes[p]; dup {
+			return fmt.Errorf("registry: peer %d already joined", p)
+		}
+		labels[i] = fmt.Sprintf("peer-%d", p)
+	}
+	nodes, err := bulk.JoinBulk(labels, r.rng)
+	if err != nil {
+		return err
+	}
+	for i, p := range ps {
+		r.nodes[p] = nodes[i]
+		r.bumpEpoch()
+	}
 	return nil
 }
 
@@ -330,6 +379,8 @@ func (r *Registry) Unregister(from topology.PeerID, inst *service.Instance, prov
 // LookupStats.CacheHits, never in Lookups. The returned slice is shared
 // with the cache and other callers: treat it as immutable.
 func (r *Registry) Lookup(from topology.PeerID, name service.Name, now float64) (entries []*InstanceEntry, hops int, err error) {
+	r.lookupMu.Lock()
+	defer r.lookupMu.Unlock()
 	n, err := r.node(from)
 	if err != nil {
 		return nil, 0, err

@@ -64,7 +64,7 @@ type Session struct {
 	resHeld  []bool
 	edgeHeld []bool
 
-	done *eventsim.Event
+	done eventsim.Handle
 }
 
 // hosts reports whether the session has a component on peer p (or p is
@@ -111,7 +111,7 @@ type Counters struct {
 // Manager owns all sessions of a run.
 type Manager struct {
 	net    *topology.Network
-	engine *eventsim.Engine
+	engine eventsim.Scheduler
 
 	nextID   uint64
 	sessions map[uint64]*Session
@@ -131,7 +131,7 @@ type Manager struct {
 }
 
 // NewManager returns a session manager bound to the network and engine.
-func NewManager(net *topology.Network, engine *eventsim.Engine) *Manager {
+func NewManager(net *topology.Network, engine eventsim.Scheduler) *Manager {
 	return &Manager{
 		net:      net,
 		engine:   engine,
@@ -272,7 +272,7 @@ func (m *Manager) Admit(user topology.PeerID, instances []*service.Instance,
 		m.indexPeer(p, s)
 	}
 	// lint:allow hotalloc session-expiry timer closure, one per admitted session; counted in the budget
-	s.done = m.engine.After(dur, func() { m.complete(s) })
+	s.done = m.engine.ScheduleAfter(dur, func() { m.complete(s) })
 	m.counters.Admitted++
 	m.Obs.Admitted.Inc()
 	return s, nil

@@ -135,3 +135,159 @@ func BenchmarkSimMinute(b *testing.B) {
 		engine.RunUntil(now)
 	}
 }
+
+// shardDiffConfig is the sharded differential workload: small enough for
+// the -race suite, with churn high enough that topology versions and
+// registry epochs move mid-epoch, exercising the stale-preparation redo
+// path, and workers forced to the shard count so the prepare barrier is
+// real even on one CPU.
+func shardDiffConfig(alg Algorithm, shards int) Config {
+	cfg := DefaultConfig(7, alg, 300)
+	cfg.RequestRate = 30
+	cfg.ChurnRate = 8
+	cfg.Duration = 3
+	cfg.Shards = shards
+	cfg.ShardWorkers = shards
+	return cfg
+}
+
+// TestShardCountInvariance is the sharded engine's determinism contract
+// — the tentpole's acceptance bar: for each of the paper's three
+// algorithms, runs at 1, 2, 4, and 8 shards replay byte-identically —
+// request outcomes, ψ and its time series, session counters, routing
+// statistics, and the full telemetry stream.
+func TestShardCountInvariance(t *testing.T) {
+	for _, alg := range Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			var ref *Result
+			var refTel []byte
+			for _, shards := range []int{1, 2, 4, 8} {
+				var tel bytes.Buffer
+				cfg := shardDiffConfig(alg, shards)
+				cfg.TelemetryOut = &tel
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Requests.Issued == 0 {
+					t.Fatal("no requests issued")
+				}
+				if ref == nil {
+					ref, refTel = res, tel.Bytes()
+					continue
+				}
+				if res.Requests != ref.Requests {
+					t.Fatalf("shards=%d RequestStats diverged:\nref: %+v\ngot: %+v", shards, ref.Requests, res.Requests)
+				}
+				if res.Psi != ref.Psi {
+					t.Fatalf("shards=%d ψ diverged: %+v vs %+v", shards, ref.Psi, res.Psi)
+				}
+				if !reflect.DeepEqual(res.Series, ref.Series) {
+					t.Fatalf("shards=%d ψ series diverged", shards)
+				}
+				if res.Sessions != ref.Sessions {
+					t.Fatalf("shards=%d session counters diverged: %+v vs %+v", shards, ref.Sessions, res.Sessions)
+				}
+				if res.Lookup != ref.Lookup {
+					t.Fatalf("shards=%d routing stats diverged: %+v vs %+v", shards, ref.Lookup, res.Lookup)
+				}
+				if res.AliveAtEnd != ref.AliveAtEnd {
+					t.Fatalf("shards=%d population diverged", shards)
+				}
+				if !bytes.Equal(tel.Bytes(), refTel) {
+					t.Fatalf("shards=%d telemetry diverged (%d vs %d bytes)", shards, len(refTel), tel.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestShardWorkerInvariance: the worker pool size is pure mechanism —
+// the inline serial shadow (1 worker) and the full pool must replay
+// byte-identically at a fixed shard count.
+func TestShardWorkerInvariance(t *testing.T) {
+	var ref []byte
+	var refRes *Result
+	for _, workers := range []int{1, 2, 4} {
+		var tel bytes.Buffer
+		cfg := shardDiffConfig(QSA, 4)
+		cfg.ShardWorkers = workers
+		cfg.TelemetryOut = &tel
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refRes = tel.Bytes(), res
+			continue
+		}
+		if res.Requests != refRes.Requests || res.Psi != refRes.Psi || res.Lookup != refRes.Lookup {
+			t.Fatalf("workers=%d results diverged", workers)
+		}
+		if !bytes.Equal(tel.Bytes(), ref) {
+			t.Fatalf("workers=%d telemetry diverged", workers)
+		}
+	}
+}
+
+// TestShardLookaheadInvariance: the barrier window only batches work; it
+// must never change request outcomes, ψ, or the telemetry stream. DHT
+// routing statistics are the one deliberate exception — the window
+// decides when speculative lookups are charged and how many preparations
+// go stale and redo theirs — so they are excluded here (they are pinned
+// across shard counts by TestShardCountInvariance, where the window is
+// held fixed).
+func TestShardLookaheadInvariance(t *testing.T) {
+	var ref *Result
+	var refTel []byte
+	for _, la := range []float64{0.05, 0.25, 2} {
+		var tel bytes.Buffer
+		cfg := shardDiffConfig(QSA, 4)
+		cfg.ShardLookahead = la
+		cfg.TelemetryOut = &tel
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refTel = res, tel.Bytes()
+			continue
+		}
+		if res.Requests != ref.Requests || res.Psi != ref.Psi || res.Sessions != ref.Sessions {
+			t.Fatalf("lookahead=%g results diverged:\nref %+v\ngot %+v", la, ref.Requests, res.Requests)
+		}
+		if !reflect.DeepEqual(res.Series, ref.Series) {
+			t.Fatalf("lookahead=%g ψ series diverged", la)
+		}
+		if !bytes.Equal(tel.Bytes(), refTel) {
+			t.Fatalf("lookahead=%g telemetry diverged", la)
+		}
+	}
+}
+
+// TestMillionPeerSharded exercises the 10⁶-peer scale target: the flat
+// slab topology, bulk DHT join, and the sharded engine must complete a
+// short workload without blowing memory or time budgets. Skipped in
+// -short mode; the full (race-free) suite runs it.
+func TestMillionPeerSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-peer run is for the full suite")
+	}
+	cfg := DefaultConfig(5, QSA, 1_000_000)
+	cfg.RequestRate = 20
+	cfg.ChurnRate = 4
+	cfg.Duration = 1
+	cfg.Shards = 4
+	cfg.ShardWorkers = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests.Issued == 0 {
+		t.Fatal("no requests issued at 10⁶ peers")
+	}
+	if res.AliveAtEnd < 999_000 {
+		t.Fatalf("population collapsed: %d alive", res.AliveAtEnd)
+	}
+}

@@ -179,6 +179,37 @@ type Config struct {
 	// comparison and for perf analysis.
 	DisableCaches bool
 
+	// Shards, when > 0, runs the simulation on the sharded discrete-event
+	// engine with this many physical event lanes (internal/eventsim,
+	// ShardedEngine). Results are byte-identical across every shard count
+	// — RequestStats, telemetry, ψ series all replay exactly for the same
+	// seed whether Shards is 1 or 8 (the differential suite asserts it).
+	// They intentionally differ from the Shards == 0 classic engine: the
+	// sharded workload draws each request from a private per-request
+	// random stream (seeded by request index) so speculative preparation
+	// never contends on the shared workload source. 0 keeps the classic
+	// single-heap engine and the exact pre-sharding realization.
+	//
+	// Compose and memo work counters (Config.Metrics) are not collected
+	// in sharded mode: speculative composition runs against per-lane
+	// scratch and memos, so those counters would depend on the physical
+	// lane count — exactly what the sharded results must not do.
+	Shards int
+
+	// ShardWorkers is the number of prepare worker goroutines for the
+	// sharded engine: 0 picks min(Shards, GOMAXPROCS), 1 forces the
+	// inline serial shadow. The differential and race suites force
+	// ShardWorkers = Shards so the barrier is exercised even on one CPU.
+	ShardWorkers int
+
+	// ShardLookahead is the conservative barrier's virtual-time window in
+	// simulated minutes (0 = eventsim.DefaultLookahead). It bounds how
+	// far speculation runs ahead of the commit frontier. Request
+	// outcomes, ψ, and telemetry are identical for any value; only DHT
+	// routing statistics shift, because the window decides when
+	// speculative lookups are charged and which preparations go stale.
+	ShardLookahead float64
+
 	Catalog   catalog.Config
 	Topology  topology.Config
 	Probe     probe.Config
@@ -219,6 +250,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.SampleWindow == 0 {
 		c.SampleWindow = 2
+	}
+	if c.Shards < 0 || c.ShardWorkers < 0 || c.ShardLookahead < 0 {
+		return fmt.Errorf("sim: negative sharding parameters")
 	}
 	if c.Catalog.Apps == 0 {
 		c.Catalog = catalog.Default(c.Seed)
@@ -281,19 +315,36 @@ type Result struct {
 	TelemetryErr    error
 }
 
+// logicalLanes is the fixed number of logical event lanes requests are
+// striped over in sharded mode. It is deliberately a constant — not the
+// physical shard count — so the (time, lane, seq) total order, and with
+// it every result byte, is identical whatever Config.Shards is. Physical
+// lane = logical % Shards.
+const logicalLanes = 64
+
 // Simulator is one configured run.
 type Simulator struct {
-	cfg    Config
-	engine *eventsim.Engine
-	net    *topology.Network
-	cat    *catalog.Catalog
-	reg    *registry.Registry
-	probes *probe.Manager
-	sess   *session.Manager
+	cfg        Config
+	engine     eventsim.Runner         // the active engine (heap or sharded)
+	heapEngine *eventsim.Engine        // classic engine; nil in sharded mode
+	shEngine   *eventsim.ShardedEngine // sharded engine; nil in classic mode
+	net        *topology.Network
+	cat        *catalog.Catalog
+	reg        *registry.Registry
+	probes     *probe.Manager
+	sess       *session.Manager
 
 	qsaSel *selection.Selector
 	agg    *core.Aggregator
 	tracer *obs.Tracer
+
+	// Sharded-mode state: one aggregator per physical lane (so prepare
+	// workers never share compose scratch), the strategy resolved once,
+	// the per-request stream salt, and the schedule-order request index.
+	laneAggs  []*core.Aggregator
+	strat     core.Strategy
+	shardSalt uint64
+	reqIndex  uint64
 
 	sampler *metrics.Sampler
 	stats   RequestStats
@@ -322,12 +373,27 @@ func New(cfg Config) (*Simulator, error) {
 	root := xrand.New(cfg.Seed)
 	s := &Simulator{
 		cfg:         cfg,
-		engine:      eventsim.New(),
 		sampler:     sampler,
 		rngWorkload: root.SplitLabeled("workload"),
 		rngChurn:    root.SplitLabeled("churn"),
 		rngProvider: root.SplitLabeled("providers"),
 		provides:    make(map[topology.PeerID][]*service.Instance),
+	}
+	if cfg.Shards > 0 {
+		s.shEngine = eventsim.NewSharded(eventsim.ShardedConfig{
+			Shards:    cfg.Shards,
+			Lookahead: cfg.ShardLookahead,
+			Parallel:  cfg.ShardWorkers,
+		})
+		s.engine = s.shEngine
+		s.strat = cfg.Algorithm.Strategy()
+		if cfg.DisableRetry {
+			s.strat.Retries = 0
+		}
+		s.shardSalt = xrand.MixString(cfg.Seed, "shardreq")
+	} else {
+		s.heapEngine = eventsim.New()
+		s.engine = s.heapEngine
 	}
 	if s.net, err = topology.New(cfg.Topology); err != nil {
 		return nil, err
@@ -369,11 +435,43 @@ func New(cfg Config) (*Simulator, error) {
 		ComposeConfig:  cfg.Compose,
 		RNG:            root.SplitLabeled("composerand"),
 	}
+	if cfg.Shards > 0 {
+		// One aggregator per physical lane. They share every serial
+		// subsystem (registry, sessions, selectors) — those are only
+		// touched from the coordinator — but each gets a private compose
+		// scratch and memo, because speculative composition for a lane
+		// runs on that lane's prepare worker. Work counters stay off the
+		// lane configs: per-lane memo hit rates depend on the physical
+		// lane count, which results must not.
+		s.laneAggs = make([]*core.Aggregator, cfg.Shards)
+		for i := range s.laneAggs {
+			cc := cfg.Compose
+			cc.Obs = obs.ComposeCounters{}
+			cc.Scratch = compose.NewScratch()
+			cc.Memo = nil
+			if !cfg.DisableCaches {
+				cc.Memo = compose.NewMemo()
+			}
+			s.laneAggs[i] = &core.Aggregator{
+				Registry:       s.reg,
+				Sessions:       s.sess,
+				PhiSelector:    s.qsaSel,
+				RandomSelector: s.agg.RandomSelector,
+				FixedSelector:  s.agg.FixedSelector,
+				ComposeConfig:  cc,
+			}
+		}
+	}
 	if cfg.TelemetryOut != nil {
 		// eventsim.Time is an alias for float64, so the engine clock is
 		// the tracer clock — events carry simulated minutes.
 		s.tracer = obs.NewTracer(cfg.TelemetryOut, s.engine.Now)
 		s.agg.Tracer = s.tracer
+		// Lane aggregators emit only from the serial commit phase, so they
+		// can share the tracer.
+		for _, la := range s.laneAggs {
+			la.Tracer = s.tracer
+		}
 		// Hop reports join the request span via the aggregator's current
 		// request ID (single simulation goroutine, so never stale here).
 		s.qsaSel.Obs = func(rep selection.StepReport) {
@@ -399,12 +497,15 @@ func New(cfg Config) (*Simulator, error) {
 		}
 	}
 
-	// Join every initial peer to the DHT, then stabilize: the grid under
+	// Join every initial peer to the DHT in bulk (per-join sorted inserts
+	// are quadratic at 10⁶ peers), then stabilize: the grid under
 	// observation has been running, so its routing state starts converged.
-	for i := 0; i < s.net.TotalCount(); i++ {
-		if err := s.reg.AddPeer(topology.PeerID(i)); err != nil {
-			return nil, err
-		}
+	initial := make([]topology.PeerID, s.net.TotalCount())
+	for i := range initial {
+		initial[i] = topology.PeerID(i)
+	}
+	if err := s.reg.AddPeers(initial); err != nil {
+		return nil, err
 	}
 	s.reg.Stabilize()
 
@@ -436,8 +537,12 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// Engine exposes the simulation clock (for embedding in larger harnesses).
-func (s *Simulator) Engine() *eventsim.Engine { return s.engine }
+// Engine exposes the classic single-heap engine (for embedding in larger
+// harnesses). It is nil when the run is sharded; use Runner then.
+func (s *Simulator) Engine() *eventsim.Engine { return s.heapEngine }
+
+// Runner exposes the active event engine regardless of sharding mode.
+func (s *Simulator) Runner() eventsim.Runner { return s.engine }
 
 // Network exposes the peer population.
 func (s *Simulator) Network() *topology.Network { return s.net }
@@ -577,6 +682,142 @@ func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Req
 	_ = s.sampler.Record(now, false)
 }
 
+// shardReq carries one sharded-mode request through the engine's three
+// stages: serial discovery pre-pass, speculative composition, commit.
+type shardReq struct {
+	idx  uint64 // schedule-order index; seeds the private stream
+	at   float64
+	lane int // physical lane: picks the aggregator used throughout
+	src  *xrand.Source
+	user *topology.Peer
+	req  *service.Request
+	prep *core.PreparedAggregation
+
+	// Validation tokens captured at the serial stage: if either moved by
+	// commit time, the preparation saw state that has since changed and
+	// the commit redoes the request serially.
+	topoV, regE uint64
+}
+
+// scheduleRequestsSharded plans one simulated minute of workload on the
+// sharded engine. Counts and arrival times still come from the shared
+// workload stream — this runs at a ticker commit, a point in the total
+// order identical for every shard count — while each request's own draws
+// (user, request shape, compose randomness) come from a private stream
+// seeded by its index, so the speculative stages never touch a shared
+// source.
+func (s *Simulator) scheduleRequestsSharded(now float64) {
+	nReq := s.rngWorkload.Poisson(s.cfg.RequestRate)
+	for i := 0; i < nReq; i++ {
+		at := now + s.rngWorkload.Float64()
+		r := &shardReq{idx: s.reqIndex, at: at}
+		s.reqIndex++
+		logical := int(r.idx % logicalLanes)
+		r.lane = logical % s.shEngine.Shards()
+		s.shEngine.AtPrepared(logical, at,
+			func() { s.prepRequestSerial(r) },
+			func() { s.prepRequestSpec(r) },
+			func() { s.commitRequest(r) })
+	}
+}
+
+// prepRequestSerial is the serial pre-stage: draw the request from its
+// private stream, capture the validation tokens, and run discovery —
+// charging DHT lookups at claim time, in merged event order, so the
+// charge sequence is a pure function of the seed.
+func (s *Simulator) prepRequestSerial(r *shardReq) {
+	r.src = xrand.New(xrand.MixIndex(s.shardSalt, r.idx))
+	r.user = s.net.RandomAliveFrom(r.src)
+	r.req = s.cat.SampleRequest(r.src)
+	if r.user == nil {
+		return
+	}
+	r.topoV = s.net.Version()
+	r.regE = s.reg.Epoch()
+	r.prep = s.laneAggs[r.lane].PrepareDiscovery(r.user.ID, r.req, r.at)
+}
+
+// prepRequestSpec is the speculative parallel stage: the first
+// composition attempt over the prepared discovery, using the lane's
+// private compose scratch and memo.
+func (s *Simulator) prepRequestSpec(r *shardReq) {
+	if r.prep == nil || r.prep.Err != nil {
+		return
+	}
+	s.laneAggs[r.lane].PrepareCompose(r.prep, r.req, s.strat, r.src)
+}
+
+// commitRequest finishes one sharded request at its committed position
+// in the total order. If the registry or topology changed since the
+// serial pre-stage, the whole preparation is discarded: the private
+// stream is rewound and the request redone serially, which is exactly
+// the unsharded execution of this commit. Either way the stream, the
+// statistics, and the trace are bit-identical for every shard count.
+func (s *Simulator) commitRequest(r *shardReq) {
+	now := r.at
+	la := s.laneAggs[r.lane]
+	valid := r.prep != nil &&
+		r.topoV == s.net.Version() && r.regE == s.reg.Epoch()
+	if !valid {
+		r.src = xrand.New(xrand.MixIndex(s.shardSalt, r.idx))
+		r.user = s.net.RandomAliveFrom(r.src)
+		r.req = s.cat.SampleRequest(r.src)
+		r.prep = nil
+	}
+	s.stats.Issued++
+	s.agg.ReqID++ // the request-span counter; hop reports read it
+	la.ReqID = s.agg.ReqID
+	if r.user == nil {
+		s.stats.DiscoveryFailed++
+		if s.tracer != nil {
+			s.tracer.Emit(obs.Event{Kind: obs.KindRequest, Req: la.ReqID, App: r.req.App.ID})
+			s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: la.ReqID,
+				Stage: obs.StageDiscovery, Err: "no alive user peer"})
+		}
+		_ = s.sampler.Record(now, false)
+		return
+	}
+	if s.cfg.TraceSink != nil {
+		s.cfg.TraceSink(trace.Entry{
+			T:        now,
+			User:     int(r.user.ID),
+			App:      r.req.App.ID,
+			Level:    r.req.Level.String(),
+			Duration: r.req.Duration,
+		})
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Kind: obs.KindRequest, Req: la.ReqID,
+			User: strconv.Itoa(int(r.user.ID)), App: r.req.App.ID,
+			Level: r.req.Level.String(), Duration: r.req.Duration})
+	}
+	var err error
+	if r.prep != nil {
+		_, err = la.AggregateFinish(r.prep, r.user.ID, r.req, now, s.strat, r.src)
+	} else {
+		la.RNG = r.src
+		_, err = la.Aggregate(r.user.ID, r.req, now, s.strat)
+	}
+	if err == nil {
+		return // outcome recorded by onSessionEnd
+	}
+	switch core.StageOf(err) {
+	case core.StageDiscovery:
+		s.stats.DiscoveryFailed++
+	case core.StageCompose:
+		s.stats.ComposeFailed++
+	case core.StageSelection:
+		s.stats.SelectionFailed++
+	default:
+		s.stats.AdmissionFailed++
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: la.ReqID,
+			Stage: core.EventStage(err), Err: err.Error()})
+	}
+	_ = s.sampler.Record(now, false)
+}
+
 // churnDepart removes one random peer and propagates the departure.
 func (s *Simulator) churnDepart(now float64) {
 	p := s.net.DepartRandom(now)
@@ -632,7 +873,7 @@ func (s *Simulator) scheduleRequests(now float64) {
 	nReq := s.rngWorkload.Poisson(s.cfg.RequestRate)
 	for i := 0; i < nReq; i++ {
 		at := now + s.rngWorkload.Float64()
-		s.engine.At(at, func() { s.issueRequest(at) })
+		s.engine.Schedule(at, func() { s.issueRequest(at) })
 	}
 }
 
@@ -657,11 +898,11 @@ func (s *Simulator) scheduleChurn(now float64) {
 	}
 	for i := 0; i < dep; i++ {
 		at := now + s.rngChurn.Float64()
-		s.engine.At(at, func() { s.churnDepart(at) })
+		s.engine.Schedule(at, func() { s.churnDepart(at) })
 	}
 	for i := 0; i < arr; i++ {
 		at := now + s.rngChurn.Float64()
-		s.engine.At(at, func() { s.churnArrive(at) })
+		s.engine.Schedule(at, func() { s.churnArrive(at) })
 	}
 }
 
@@ -678,28 +919,32 @@ func (s *Simulator) Run() *Result {
 		maxDur = 60
 	}
 	drainHorizon := s.cfg.Duration + maxDur
-	var requests *eventsim.Ticker
+	var requests eventsim.Handle
 	if len(s.cfg.Replay) > 0 {
 		for _, e := range s.cfg.Replay {
 			if e.T >= s.cfg.Duration {
 				continue
 			}
 			e := e
-			s.engine.At(e.T, func() { s.issueReplayed(e.T, e) })
+			s.engine.Schedule(e.T, func() { s.issueReplayed(e.T, e) })
 		}
 	} else {
-		requests = s.engine.Every(0, 1, func() {
+		schedule := s.scheduleRequests
+		if s.shEngine != nil {
+			schedule = s.scheduleRequestsSharded
+		}
+		requests = s.engine.ScheduleEvery(0, 1, func() {
 			if s.engine.Now() < s.cfg.Duration {
-				s.scheduleRequests(s.engine.Now())
+				schedule(s.engine.Now())
 			}
 		})
 	}
-	churn := s.engine.Every(0, 1, func() {
+	churn := s.engine.ScheduleEvery(0, 1, func() {
 		if s.engine.Now() < drainHorizon {
 			s.scheduleChurn(s.engine.Now())
 		}
 	})
-	refresh := s.engine.Every(s.cfg.RegistryRefresh, s.cfg.RegistryRefresh, func() {
+	refresh := s.engine.ScheduleEvery(s.cfg.RegistryRefresh, s.cfg.RegistryRefresh, func() {
 		s.refreshRegistrations(s.engine.Now())
 	})
 	s.engine.RunUntil(s.cfg.Duration)
@@ -710,6 +955,9 @@ func (s *Simulator) Run() *Result {
 	churn.Cancel()
 	refresh.Cancel()
 	s.engine.Run() // drain any remaining completions
+	if s.shEngine != nil {
+		s.shEngine.Close() // terminate the prepare workers
+	}
 
 	res := &Result{
 		Config:     s.cfg,

@@ -118,19 +118,31 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// peerChunk is the slab chunk size. Chunks are allocated with this fixed
+// capacity and never reallocated, so *Peer pointers handed to callers
+// stay valid as the population grows.
+const peerChunk = 16384
+
 // Network is the peer population plus the pairwise link model and the
 // shared bandwidth reservation ledger.
+//
+// Peers live in a chunked slab of Peer values rather than a []*Peer:
+// at 10⁶–10⁷ peers, one allocation per peer and a pointer-chasing index
+// dominate both the allocator and the cache. IDs are dense, so the
+// alive index is a flat []int32 instead of a map.
 type Network struct {
 	cfg   Config
 	rng   *xrand.Source
-	peers []*Peer // indexed by PeerID; grows monotonically
+	slab  [][]Peer // chunked storage, indexed by PeerID via peerChunk
+	total int      // peers ever created
 
-	alive    []PeerID       // alive set, order unspecified
-	aliveIdx map[PeerID]int // PeerID -> index in alive
+	alive    []PeerID // alive set, order unspecified
+	aliveIdx []int32  // PeerID -> index in alive, -1 when departed
 
 	bw *resource.BandwidthLedger
 
-	departures, arrivals int // cumulative churn counters
+	departures, arrivals int    // cumulative churn counters
+	version              uint64 // bumped on every Join/Depart
 }
 
 // New builds a network with cfg.N peers joined at time 0.
@@ -145,7 +157,7 @@ func New(cfg Config) (*Network, error) {
 	n := &Network{
 		cfg:      cfg,
 		rng:      xrand.New(cfg.Seed).SplitLabeled("topology"),
-		aliveIdx: make(map[PeerID]int, cfg.N),
+		aliveIdx: make([]int32, 0, cfg.N),
 	}
 	bw, err := resource.NewBandwidthLedger(func(a, b int) float64 {
 		return n.pairClass(a, b, 0, cfg.BandwidthClasses)
@@ -190,6 +202,22 @@ func (n *Network) Latency(a, b PeerID) float64 {
 // session admission control.
 func (n *Network) BandwidthLedger() *resource.BandwidthLedger { return n.bw }
 
+// allocPeer reserves the next slab slot and returns its stable address.
+func (n *Network) allocPeer() *Peer {
+	if len(n.slab) == 0 || len(n.slab[len(n.slab)-1]) == peerChunk {
+		n.slab = append(n.slab, make([]Peer, 0, peerChunk))
+	}
+	last := len(n.slab) - 1
+	n.slab[last] = append(n.slab[last], Peer{})
+	n.total++
+	return &n.slab[last][len(n.slab[last])-1]
+}
+
+// peerAt returns the stable address of a peer the network issued.
+func (n *Network) peerAt(id PeerID) *Peer {
+	return &n.slab[int(id)/peerChunk][int(id)%peerChunk]
+}
+
 // Join adds a fresh peer at time now, with a capacity drawn from the
 // configured range, and returns it.
 func (n *Network) Join(now float64) (*Peer, error) {
@@ -199,17 +227,18 @@ func (n *Network) Join(now float64) (*Peer, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Peer{
-		ID:       PeerID(len(n.peers)),
+	p := n.allocPeer()
+	*p = Peer{
+		ID:       PeerID(n.total - 1),
 		Capacity: cap,
 		Ledger:   ledger,
 		JoinTime: now,
 		Alive:    true,
 	}
-	n.peers = append(n.peers, p)
-	n.aliveIdx[p.ID] = len(n.alive)
+	n.aliveIdx = append(n.aliveIdx, int32(len(n.alive)))
 	n.alive = append(n.alive, p.ID)
 	n.arrivals++
+	n.version++
 	return p, nil
 }
 
@@ -232,8 +261,9 @@ func (n *Network) Depart(id PeerID, now float64) error {
 	n.alive[i] = last
 	n.aliveIdx[last] = i
 	n.alive = n.alive[:len(n.alive)-1]
-	delete(n.aliveIdx, id)
+	n.aliveIdx[id] = -1
 	n.departures++
+	n.version++
 	return nil
 }
 
@@ -250,7 +280,7 @@ func (n *Network) DepartRandom(now float64) *Peer {
 	}
 	var victim *Peer
 	for i := 0; i < k; i++ {
-		p := n.peers[n.alive[n.rng.Intn(len(n.alive))]]
+		p := n.peerAt(n.alive[n.rng.Intn(len(n.alive))])
 		if victim == nil || p.JoinTime > victim.JoinTime {
 			victim = p // later join = younger
 		}
@@ -264,10 +294,10 @@ func (n *Network) DepartRandom(now float64) *Peer {
 
 // Peer returns the peer with the given ID.
 func (n *Network) Peer(id PeerID) (*Peer, error) {
-	if id < 0 || int(id) >= len(n.peers) {
+	if id < 0 || int(id) >= n.total {
 		return nil, fmt.Errorf("topology: unknown peer %d", id)
 	}
-	return n.peers[id], nil
+	return n.peerAt(id), nil
 }
 
 // MustPeer is Peer for callers holding IDs the network itself issued.
@@ -280,11 +310,17 @@ func (n *Network) MustPeer(id PeerID) *Peer {
 	return p
 }
 
+// Version returns the membership mutation counter: it advances on every
+// Join and Depart. The sharded simulator uses it as a validation token —
+// a speculative computation that read the alive set is safe to reuse
+// only if the version is unchanged at commit time.
+func (n *Network) Version() uint64 { return n.version }
+
 // AliveCount returns the number of currently connected peers.
 func (n *Network) AliveCount() int { return len(n.alive) }
 
 // TotalCount returns the number of peers ever created.
-func (n *Network) TotalCount() int { return len(n.peers) }
+func (n *Network) TotalCount() int { return n.total }
 
 // Churn returns cumulative (arrivals, departures) including the initial N
 // joins.
@@ -296,7 +332,7 @@ func (n *Network) Churn() (arrivals, departures int) {
 // unspecified but deterministic for a given history.
 func (n *Network) AlivePeers(fn func(*Peer)) {
 	for _, id := range n.alive {
-		fn(n.peers[id])
+		fn(n.peerAt(id))
 	}
 }
 
@@ -311,7 +347,7 @@ func (n *Network) RandomAliveFrom(rng *xrand.Source) *Peer {
 	if len(n.alive) == 0 {
 		return nil
 	}
-	return n.peers[n.alive[rng.Intn(len(n.alive))]]
+	return n.peerAt(n.alive[rng.Intn(len(n.alive))])
 }
 
 // MaxBandwidthClass returns the largest configured pairwise bandwidth

@@ -55,6 +55,16 @@ func MixString(h uint64, s string) uint64 {
 	return Mix64(h ^ uint64(len(s))*gamma)
 }
 
+// MixIndex derives an independent value from hash state h and a counter
+// i, keyed so consecutive indices land far apart. It is the numeric
+// companion of MixString: the sharded simulator uses it to give every
+// request its own self-contained random stream seeded by
+// (run salt, request index), so speculative preparation never has to
+// consume — or contend on — a shared source.
+func MixIndex(h, i uint64) uint64 {
+	return Mix64(h ^ Mix64((i+1)*gamma))
+}
+
 // Split derives an independent child source. The child's stream is
 // statistically independent of the parent's subsequent output.
 func (s *Source) Split() *Source {
