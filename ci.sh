@@ -19,11 +19,20 @@
 #             internal/analysis (the lint engine the other gates lean
 #             on) must stay at or above 90.0%; internal/eventsim (the
 #             sharded scheduler the million-peer runs sit on) must stay
-#             at or above 90.0%
+#             at or above 90.0%; internal/wire (the binary codec and
+#             packet framing under the UDP transport) must stay at or
+#             above 90.0%
 #   shards    scripts/bench_shards.sh smoke: a 1-shard and a 4-shard run
 #             of the same seed must produce byte-identical output and
 #             both must complete (timings printed; full curve via
 #             scripts/bench_shards.sh → BENCH_shards.json)
+#   rpc       scripts/bench_rpc.sh smoke: both transport legs (JSON over
+#             TCP, binary over UDP) must complete a closed-loop run and
+#             binary must stay ≥2x smaller on the payload-bearing RPCs
+#             (full numbers: scripts/bench_rpc.sh → BENCH_rpc.json);
+#             the binary codec fuzz corpus (FuzzBinaryDecode seeds) must
+#             decode clean, and the steady-state encode/decode path must
+#             hold its zero-allocations budget (TestBinarySteadyStateAllocs)
 #   bench     the Telemetry benchmarks run once; they fail if the
 #             disabled-sink hot paths allocate. The request hot-path
 #             benchmarks (QCS, Discover, Aggregate, SimMinute, the probe
@@ -64,7 +73,8 @@ cover_out=$(mktemp /tmp/qsa_netproto_cover.XXXXXX)
 obs_cover_out=$(mktemp /tmp/qsa_obs_cover.XXXXXX)
 analysis_cover_out=$(mktemp /tmp/qsa_analysis_cover.XXXXXX)
 eventsim_cover_out=$(mktemp /tmp/qsa_eventsim_cover.XXXXXX)
-trap 'rm -f "$cover_out" "$obs_cover_out" "$analysis_cover_out" "$eventsim_cover_out"' EXIT
+wire_cover_out=$(mktemp /tmp/qsa_wire_cover.XXXXXX)
+trap 'rm -f "$cover_out" "$obs_cover_out" "$analysis_cover_out" "$eventsim_cover_out" "$wire_cover_out"' EXIT
 go test -short -coverprofile="$cover_out" ./internal/netproto/ > /dev/null
 cover=$(go tool cover -func="$cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 awk -v c="$cover" 'BEGIN {
@@ -108,8 +118,25 @@ awk -v c="$eventsim_cover" 'BEGIN {
 	print "eventsim coverage " c "% (baseline 90.0%)"
 }'
 
+echo '>> wire (binary codec) coverage gate'
+go test -short -coverprofile="$wire_cover_out" ./internal/wire/ > /dev/null
+wire_cover=$(go tool cover -func="$wire_cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+awk -v c="$wire_cover" 'BEGIN {
+	if (c + 0 < 90.0) {
+		print "wire coverage " c "% dropped below the 90.0% baseline"
+		exit 1
+	}
+	print "wire coverage " c "% (baseline 90.0%)"
+}'
+
 echo '>> shard determinism smoke'
 scripts/bench_shards.sh smoke
+
+echo '>> rpc wire-plane smoke'
+scripts/bench_rpc.sh smoke
+
+echo '>> binary codec fuzz corpus'
+go test -run '^FuzzBinaryDecode$' -count=1 ./internal/wire/ > /dev/null
 
 echo '>> telemetry zero-allocation bench smoke'
 go test -run '^$' -bench Telemetry -benchtime=1x ./internal/obs/ ./internal/netproto/ > /dev/null
@@ -118,7 +145,8 @@ echo '>> hot-path bench smoke under -race'
 go test -race -run '^$' -bench 'Benchmark(QCS|Discover|Aggregate|SimMinute|TableRemove|ResolveFull)$' \
 	-benchtime=1x ./internal/compose/ ./internal/core/ ./internal/probe/ ./internal/sim/ > /dev/null
 
-echo '>> steady-state allocation gate'
+echo '>> steady-state allocation gates'
 go test -run 'TestAggregateSteadyStateAllocs' -count=1 ./internal/core/ > /dev/null
+go test -run 'TestBinarySteadyStateAllocs' -count=1 ./internal/wire/ > /dev/null
 
 echo 'ci: ok'

@@ -85,7 +85,10 @@ func parseProvide(entry string) (*service.Instance, error) {
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		transport = flag.String("transport", "tcp", "transport: tcp, or udp (reliable datagrams, DESIGN.md §12)")
+		codec     = flag.String("codec", "", "wire codec: json or binary (default: binary over udp, json over tcp)")
+		mtu       = flag.Int("mtu", 0, "udp payload budget per datagram before fragmenting (default 1200)")
 		join      = flag.String("join", "", "bootstrap peer address to join")
 		cpu       = flag.Float64("cpu", 500, "CPU capacity units")
 		mem       = flag.Float64("mem", 500, "memory capacity units")
@@ -99,7 +102,8 @@ func main() {
 	)
 	flag.Parse()
 
-	pcfg := netproto.Config{Listen: *listen, CPU: *cpu, Memory: *mem}
+	pcfg := netproto.Config{Listen: *listen, CPU: *cpu, Memory: *mem, Network: *transport, Codec: *codec}
+	pcfg.Wire.MTU = *mtu
 	if *debugAddr != "" {
 		pcfg.Metrics = obs.NewRegistry()
 	}
@@ -136,7 +140,13 @@ func main() {
 		}
 		fmt.Printf("wrote %d telemetry events to %s\n", tracer.Count(), teleFile.Name())
 	}()
-	fmt.Printf("qsapeer listening on %s (cpu=%g mem=%g)\n", peer.Addr(), *cpu, *mem)
+	if *codec == "" {
+		*codec = "json"
+		if *transport == "udp" {
+			*codec = "binary"
+		}
+	}
+	fmt.Printf("qsapeer listening on %s (%s/%s, cpu=%g mem=%g)\n", peer.Addr(), *transport, *codec, *cpu, *mem)
 
 	if *debugAddr != "" {
 		srv := &http.Server{Addr: *debugAddr, Handler: obs.Handler(pcfg.Metrics)}

@@ -106,7 +106,51 @@ func cacheReport(out io.Writer, path string) error {
 	fmt.Fprintf(out, "  user-QoS memo:    %d hits, %d misses (%s hit rate)\n",
 		c["compose.memo_user_hits"], c["compose.memo_user_misses"],
 		rate(c["compose.memo_user_hits"], c["compose.memo_user_misses"]))
+	wireReport(out, c)
 	return nil
+}
+
+// rpcTypes is the RPC vocabulary in wire order, mirroring
+// netproto's message set (internal/wire).
+var rpcTypes = []string{"join", "leave", "lookup", "probe", "select", "reserve", "release"}
+
+// wireReport prints the wire-efficiency section: bytes on the wire per
+// RPC type (with the per-message average, the number the binary codec
+// exists to shrink) and the datagram reliability counters — fragments,
+// retransmits, suppressed duplicates, integrity rejects. Silent when
+// the snapshot has no wire counters (a JSON/TCP-era run).
+func wireReport(out io.Writer, c map[string]uint64) {
+	var total uint64
+	for k, v := range c {
+		if strings.HasPrefix(k, "wire.") {
+			total += v
+		}
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\nwire efficiency:\n")
+	fmt.Fprintf(out, "  %-10s %12s %12s %14s\n", "rpc", "bytes sent", "bytes recv", "avg sent/msg")
+	for _, m := range rpcTypes {
+		sent, recv := c["wire.bytes_sent."+m], c["wire.bytes_recv."+m]
+		if sent+recv == 0 {
+			continue
+		}
+		avg := "n/a"
+		if n := c["rpc."+m+".sent"]; n > 0 {
+			avg = fmt.Sprintf("%.0fB", float64(sent)/float64(n))
+		}
+		fmt.Fprintf(out, "  %-10s %12d %12d %14s\n", m, sent, recv, avg)
+	}
+	if s, r := c["wire.bytes_sent.other"], c["wire.bytes_recv.other"]; s+r > 0 {
+		fmt.Fprintf(out, "  %-10s %12d %12d\n", "other", s, r)
+	}
+	fmt.Fprintf(out, "  fragments:        %d sent, %d received\n",
+		c["wire.frags_sent"], c["wire.frags_recv"])
+	fmt.Fprintf(out, "  retransmits:      %d\n", c["wire.retransmits"])
+	fmt.Fprintf(out, "  dups dropped:     %d\n", c["wire.dups_dropped"])
+	fmt.Fprintf(out, "  crc failures:     %d\n", c["wire.crc_failures"])
+	fmt.Fprintf(out, "  packet rejects:   %d\n", c["wire.packet_rejects"])
 }
 
 // summarize prints the per-stage outcome aggregation of the whole trace.

@@ -173,3 +173,71 @@ func TestCacheReport(t *testing.T) {
 		t.Fatal("missing metrics snapshot accepted")
 	}
 }
+
+func TestWireReport(t *testing.T) {
+	// Wire counters as a UDP/binary peer would leave them (the counter
+	// names are pinned by internal/netproto's telemetry tests); the
+	// report must render per-RPC bytes, the per-message average, and
+	// the datagram reliability counters.
+	reg := obs.NewRegistry()
+	reg.Counter("wire.bytes_sent.lookup").Add(4130)
+	reg.Counter("wire.bytes_recv.lookup").Add(9020)
+	reg.Counter("rpc.lookup.sent").Add(10)
+	reg.Counter("wire.bytes_sent.other").Add(77)
+	reg.Counter("wire.frags_sent").Add(24)
+	reg.Counter("wire.frags_recv").Add(21)
+	reg.Counter("wire.retransmits").Add(3)
+	reg.Counter("wire.dups_dropped").Add(2)
+	reg.Counter("wire.crc_failures").Add(1)
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	metPath := filepath.Join(dir, "wire.metrics.json")
+	if err := os.WriteFile(metPath, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	telPath := filepath.Join(dir, "empty.tel.jsonl")
+	if err := os.WriteFile(telPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-metrics", metPath, telPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"wire efficiency:",
+		"lookup", "4130", "9020", "413B", // 4130 bytes over 10 lookups
+		"other", "77",
+		"fragments:        24 sent, 21 received",
+		"retransmits:      3",
+		"dups dropped:     2",
+		"crc failures:     1",
+		"packet rejects:   0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("wire section missing %q in:\n%s", want, got)
+		}
+	}
+
+	// A TCP/JSON-era snapshot has no wire counters: the section must
+	// not appear at all rather than render a wall of zeros.
+	plain := obs.NewRegistry()
+	plain.Counter("discovery.cache_hits").Add(5)
+	snap, err = json.Marshal(plain.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metPath, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-metrics", metPath, telPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "wire efficiency:") {
+		t.Fatalf("wire section rendered for a snapshot with no wire counters:\n%s", out.String())
+	}
+}

@@ -103,6 +103,7 @@ type Fabric struct {
 	forced   map[link]int // remaining scripted drops
 	attempts map[link]uint64
 	trace    []Event
+	packets  *packetPlane // datagram layer; nil until EnablePackets
 }
 
 // New returns a Fabric dialing real TCP underneath.

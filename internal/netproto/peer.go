@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -15,13 +16,28 @@ import (
 	"repro/internal/resource"
 	"repro/internal/selection"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // Config parameterizes a network peer.
 type Config struct {
-	// Listen is the TCP listen address ("127.0.0.1:0" for an ephemeral
-	// port).
+	// Listen is the listen address ("127.0.0.1:0" for an ephemeral
+	// port), on the network chosen by Network.
 	Listen string
+	// Network selects the listener and default transport: "tcp"
+	// (default) or "udp" (the reliable-datagram stack of DESIGN.md §12).
+	Network string
+	// Codec selects the request encoding this peer SENDS: "json"
+	// (newline-delimited, the rollback format) or "binary"
+	// (internal/wire compact framing). Default: "json" over TCP,
+	// "binary" over UDP. Servers need no setting — the first byte of
+	// each incoming message picks the decode path, and replies use the
+	// codec the request arrived in.
+	Codec string
+	// Wire parameterizes the UDP datagram layer (MTU, ack timeout,
+	// retransmit budget, dedup TTL, packet-fault filter). Ignored when
+	// Network is "tcp" and no UDPTransport is in play.
+	Wire WireConfig
 	// CPU and Memory are the peer's end-system capacity units.
 	CPU, Memory float64
 	// Weights are the Φ weights [cpu, memory, network]; default uniform.
@@ -58,6 +74,16 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() {
+	if c.Network == "" {
+		c.Network = "tcp"
+	}
+	if c.Codec == "" {
+		if c.Network == "udp" {
+			c.Codec = "binary"
+		} else {
+			c.Codec = "json"
+		}
+	}
 	if len(c.Weights) == 0 {
 		c.Weights = []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
 	}
@@ -67,7 +93,10 @@ func (c *Config) fillDefaults() {
 	if c.ProbeCacheTTL == 0 {
 		c.ProbeCacheTTL = time.Second
 	}
-	if c.Transport == nil {
+	c.Wire.fillDefaults()
+	if c.Transport == nil && c.Network != "udp" {
+		// The UDP default is built in Start, where the telemetry handle
+		// exists to plumb into the transport.
 		c.Transport = TCP{}
 	}
 	c.Retry.fillDefaults()
@@ -78,6 +107,19 @@ func (c *Config) fillDefaults() {
 // timeout would make every RPC deadline already expired, and a negative
 // interval or retry budget has no meaning.
 func (c Config) Validate() error {
+	switch c.Network {
+	case "", "tcp", "udp":
+	default:
+		return fmt.Errorf("netproto: unknown network %q (want tcp or udp)", c.Network)
+	}
+	switch c.Codec {
+	case "", "json", "binary":
+	default:
+		return fmt.Errorf("netproto: unknown codec %q (want json or binary)", c.Codec)
+	}
+	if err := c.Wire.validate(); err != nil {
+		return err
+	}
 	if c.CPU < 0 || c.Memory < 0 {
 		return fmt.Errorf("netproto: negative capacity")
 	}
@@ -140,7 +182,9 @@ type initiated struct {
 
 // Peer is one QSA prototype node.
 type Peer struct {
-	cfg Config
+	cfg   Config
+	codec wire.Codec   // codec for RPCs this peer sends
+	bin   *wire.Binary // shared binary codec (server decode + binary sends)
 
 	ln    net.Listener
 	addr  string
@@ -172,18 +216,38 @@ func Start(cfg Config) (*Peer, error) {
 	var tele *peerTele
 	if cfg.Metrics != nil {
 		tele = newPeerTele(cfg.Metrics)
+	}
+	if cfg.Transport == nil {
+		// Only reachable for Network == "udp" (fillDefaults handles tcp):
+		// build the datagram transport here so it shares the peer's wire
+		// telemetry.
+		cfg.Transport = &UDPTransport{cfg: cfg.Wire, tele: tele.wireTele()}
+	}
+	if cfg.Metrics != nil {
 		cfg.Transport = NewMeteredTransport(cfg.Transport, cfg.Metrics)
 	}
 	ledger, err := resource.NewLedger(resource.Vec2(cfg.CPU, cfg.Memory))
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", cfg.Listen)
+	var ln net.Listener
+	if cfg.Network == "udp" {
+		ln, err = listenUDP(cfg.Listen, cfg.Wire, tele.wireTele())
+	} else {
+		ln, err = net.Listen("tcp", cfg.Listen)
+	}
 	if err != nil {
 		return nil, err
 	}
+	bin := wire.NewBinary()
+	var codec wire.Codec = wire.JSON{}
+	if cfg.Codec == "binary" {
+		codec = bin
+	}
 	p := &Peer{
 		cfg:       cfg,
+		codec:     codec,
+		bin:       bin,
 		ln:        ln,
 		addr:      ln.Addr().String(),
 		start:     time.Now(),
@@ -342,8 +406,28 @@ func (p *Peer) handle(conn net.Conn) {
 		// The connection is already dead; nothing can be sent on it.
 		return
 	}
+	// Codec negotiation is the first byte: '{' opens a JSON object, a
+	// binary frame opens with the wire magic. The reply always uses the
+	// request's codec, so mixed-codec overlays interoperate and a JSON
+	// rollback needs no flag day.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if wire.IsBinary(first) {
+		p.handleBinary(conn, br)
+		return
+	}
+	// Everything else — including malformed garbage — takes the JSON
+	// path, whose decoder surfaces a bad-request reply instead of a
+	// silent hangup.
+	p.handleJSON(conn, br)
+}
+
+func (p *Peer) handleJSON(conn net.Conn, br *bufio.Reader) {
 	enc := json.NewEncoder(conn)
-	dec := json.NewDecoder(conn)
+	dec := json.NewDecoder(br)
 	var req request
 	if err := dec.Decode(&req); err != nil {
 		// Surface malformed requests to the caller instead of silently
@@ -353,6 +437,38 @@ func (p *Peer) handle(conn net.Conn) {
 		return
 	}
 	_ = enc.Encode(p.dispatch(req))
+}
+
+// reqPool recycles server-side request structs: the binary decoder
+// reuses their slice capacity, so a warm server decodes requests
+// without allocating.
+var reqPool = sync.Pool{New: func() any { return new(request) }}
+
+func (p *Peer) handleBinary(conn net.Conn, br *bufio.Reader) {
+	buf := wire.GetBuf(512)
+	defer wire.PutBuf(buf)
+	var err error
+	buf.B, err = wire.ReadFrame(br, buf.B)
+	if err != nil {
+		// Unframeable bytes carry no request ID to correlate an error
+		// reply with; drop the exchange.
+		return
+	}
+	req := reqPool.Get().(*request)
+	reqID, err := p.bin.DecodeRequest(buf.B, req)
+	var resp response
+	if err != nil {
+		resp = response{Err: fmt.Sprintf("bad request: %v", err)}
+	} else {
+		resp = p.dispatch(*req)
+	}
+	buf.B, err = p.bin.AppendResponse(buf.B[:0], reqID, &resp)
+	if err == nil {
+		_, _ = conn.Write(buf.B)
+	}
+	// Handlers copy what they keep, so the request can be recycled once
+	// the response is on the wire.
+	reqPool.Put(req)
 }
 
 func (p *Peer) dispatch(req request) response {
@@ -706,17 +822,17 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	}
 
 	// Tier 2: distributed hop-by-hop selection starting at the user side.
-	wire := make([]WireInstance, len(composed.Instances))
+	specs := make([]WireInstance, len(composed.Instances))
 	cands := make(map[string][]string, len(composed.Instances))
 	for i, in := range composed.Instances {
-		wire[i] = ToWire(in)
+		specs[i] = ToWire(in)
 		cands[in.ID] = providers[in.ID]
 	}
 	selReq := request{
 		Type:        msgSelect,
-		Instances:   wire,
+		Instances:   specs,
 		Candidates:  cands,
-		Idx:         len(wire) - 1,
+		Idx:         len(specs) - 1,
 		UserAddr:    p.addr,
 		DurationSec: duration.Seconds(),
 		Trace:       tr != nil,

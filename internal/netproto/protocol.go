@@ -2,14 +2,15 @@
 // prototype the paper leaves as future work ("we will implement a
 // prototype of our model and test it in the real Internet environment",
 // §6). Peers are real processes (or in-process instances) speaking
-// newline-delimited JSON over TCP:
+// either newline-delimited JSON over TCP (the rollback format) or the
+// compact binary framing from internal/wire over TCP or reliable UDP:
 //
 //   - membership: a joiner contacts any bootstrap peer and announces
 //     itself to the membership it learns (full membership at prototype
 //     scale, standing in for the simulator's DHT);
 //   - discovery: the requesting peer fans a lookup out to the members and
 //     merges the (instance spec, provider) offers;
-//   - probing: candidates are probed over TCP — resource availability and
+//   - probing: candidates are probed — resource availability and
 //     uptime from the response, network quality from the measured RTT;
 //   - composition: QCS runs on the requesting peer over the discovered
 //     layers (package compose);
@@ -26,41 +27,57 @@
 // measurement service like Nettimer, the paper's [12]).
 //
 // Every RPC dials through an injectable Transport (default: plain TCP;
-// internal/faults supplies a deterministic fault-injecting one), and the
+// internal/faults supplies a deterministic fault-injecting one, and
+// UDPTransport the datagram stack from DESIGN.md §12), and the
 // idempotent messages (probe, lookup, join, leave, release) retry
 // transport failures with bounded exponential backoff — reserve never
 // does, because it is not idempotent (see RetryPolicy).
+//
+// A server never needs codec configuration: the first byte of a message
+// distinguishes JSON ('{') from a binary frame (0x51), and the reply
+// uses whatever codec the request arrived in.
 package netproto
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
-// WireParam is the JSON form of one QoS parameter.
-type WireParam struct {
-	Name string  `json:"name"`
-	Sym  string  `json:"sym,omitempty"`
-	Lo   float64 `json:"lo,omitempty"`
-	Hi   float64 `json:"hi,omitempty"`
-}
+// The RPC message vocabulary now lives in internal/wire (the leaf
+// package both codecs encode); these aliases keep netproto's public
+// surface and its call sites unchanged.
+type (
+	// WireParam is the wire form of one QoS parameter.
+	WireParam = wire.Param
+	// WireInstance is the wire form of a service instance specification.
+	WireInstance = wire.Instance
+	// WireCand is one candidate considered during a selection hop.
+	WireCand = wire.Cand
+	// WireHop is the decision record of one distributed selection hop.
+	WireHop = wire.Hop
 
-// WireInstance is the JSON form of a service instance specification.
-type WireInstance struct {
-	ID      string      `json:"id"`
-	Service string      `json:"service"`
-	Qin     []WireParam `json:"qin"`
-	Qout    []WireParam `json:"qout"`
-	CPU     float64     `json:"cpu"`
-	Memory  float64     `json:"memory"`
-	Kbps    float64     `json:"kbps"`
-}
+	request  = wire.Request
+	response = wire.Response
+	offer    = wire.Offer
+)
+
+// Message types.
+const (
+	msgJoin    = wire.TypeJoin
+	msgLeave   = wire.TypeLeave
+	msgLookup  = wire.TypeLookup
+	msgProbe   = wire.TypeProbe
+	msgSelect  = wire.TypeSelect
+	msgReserve = wire.TypeReserve
+	msgRelease = wire.TypeRelease
+)
 
 func toWireParams(v qos.Vector) []WireParam {
 	out := make([]WireParam, len(v))
@@ -119,89 +136,23 @@ func FromWire(w WireInstance) (*service.Instance, error) {
 	return in, in.Validate()
 }
 
-// Message types.
-const (
-	msgJoin    = "join"    // announce a member; response carries membership
-	msgLeave   = "leave"   // graceful departure announcement
-	msgLookup  = "lookup"  // discover this peer's registrations of a service
-	msgProbe   = "probe"   // resource availability + uptime
-	msgSelect  = "select"  // continue hop-by-hop selection at this peer
-	msgReserve = "reserve" // reserve resources for a session
-	msgRelease = "release" // drop a session's reservation early
-)
+// nextReqID correlates binary requests with responses across the
+// process (the JSON codec, one exchange per connection, ignores it).
+var nextReqID atomic.Uint64
 
-// WireCand is one candidate considered during a selection hop, with the
-// Φ value it scored (when probed) and why it was or was not chosen.
-type WireCand struct {
-	Addr   string  `json:"addr"`
-	Phi    float64 `json:"phi,omitempty"`
-	Reason string  `json:"reason"`
-}
-
-// WireHop is the decision record of one distributed selection hop,
-// carried back through the select recursion when the initiator asked for
-// tracing (request.Trace). Idx is the 0-based instance index in
-// aggregation-flow order; At is the peer that executed the step.
-type WireHop struct {
-	Idx    int        `json:"idx"`
-	At     string     `json:"at"`
-	Inst   string     `json:"inst"`
-	Chosen string     `json:"chosen,omitempty"`
-	Mode   string     `json:"mode,omitempty"`
-	Cands  []WireCand `json:"cands,omitempty"`
-}
-
-// request is the wire envelope for every RPC.
-type request struct {
-	Type string `json:"type"`
-
-	// join
-	Addr string `json:"addr,omitempty"`
-
-	// lookup
-	Service string `json:"service,omitempty"`
-
-	// select
-	Instances  []WireInstance      `json:"instances,omitempty"`
-	Candidates map[string][]string `json:"candidates,omitempty"` // instance ID -> provider addrs
-	Idx        int                 `json:"idx,omitempty"`
-	Chain      []string            `json:"chain,omitempty"`
-	UserAddr   string              `json:"user_addr,omitempty"`
-	Trace      bool                `json:"trace,omitempty"` // carry WireHop decision records back
-
-	// reserve / release
-	SessionID   string  `json:"session_id,omitempty"`
-	InstanceID  string  `json:"instance_id,omitempty"`
-	CPU         float64 `json:"cpu,omitempty"`
-	Memory      float64 `json:"memory,omitempty"`
-	DurationSec float64 `json:"duration_sec,omitempty"`
-}
-
-// offer is one (instance, provider) discovery result.
-type offer struct {
-	Instance WireInstance `json:"instance"`
-	Provider string       `json:"provider"`
-}
-
-// response is the wire envelope for every reply.
-type response struct {
-	OK  bool   `json:"ok"`
-	Err string `json:"err,omitempty"`
-
-	Members []string `json:"members,omitempty"`
-	Offers  []offer  `json:"offers,omitempty"`
-
-	// probe
-	Avail     []float64 `json:"avail,omitempty"`
-	UptimeSec float64   `json:"uptime_sec,omitempty"`
-
-	// select
-	Chain []string  `json:"chain,omitempty"`
-	Hops  []WireHop `json:"hops,omitempty"` // per-hop decision records (request.Trace)
-}
-
-// rpc performs one request/response exchange with addr through tr.
+// rpc performs one JSON request/response exchange with addr through tr
+// — the legacy entry point, kept for compatibility with older peers
+// and tests that speak the rollback format.
 func rpc(tr Transport, addr string, req request, timeout time.Duration) (*response, error) {
+	return rpcWith(tr, wire.JSON{}, nil, addr, req, timeout)
+}
+
+// rpcWith performs one request/response exchange with addr through tr
+// using codec, accounting message-level wire bytes into wt (nil
+// disables). Encode buffers are pooled; the steady-state binary
+// encode/decode path allocates only the response struct the caller
+// keeps.
+func rpcWith(tr Transport, codec wire.Codec, wt *wireTele, addr string, req request, timeout time.Duration) (*response, error) {
 	conn, err := tr.Dial(addr, timeout)
 	if err != nil {
 		return nil, err
@@ -211,18 +162,65 @@ func rpc(tr Transport, addr string, req request, timeout time.Duration) (*respon
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(req); err != nil {
+	buf := wire.GetBuf(512)
+	defer wire.PutBuf(buf)
+	reqID := nextReqID.Add(1)
+	buf.B, err = codec.AppendRequest(buf.B[:0], reqID, &req)
+	if err != nil {
 		return nil, err
 	}
-	br := bufio.NewReaderSize(conn, 1<<20)
-	dec := json.NewDecoder(br)
-	var resp response
-	if err := dec.Decode(&resp); err != nil {
+	if _, err := conn.Write(buf.B); err != nil {
 		return nil, err
+	}
+	wt.message(req.Type, len(buf.B), false)
+	var resp response
+	if codec.Name() == "json" {
+		br := bufio.NewReaderSize(conn, 64<<10)
+		if err := readJSONResponse(br, &resp, wt, req.Type); err != nil {
+			return nil, err
+		}
+	} else {
+		var frame []byte
+		if mc, ok := conn.(messageConn); ok {
+			// Message-oriented transport (UDP): the response arrives as
+			// one reassembled message — no stream re-framing needed.
+			frame, err = mc.ReadMessage()
+		} else {
+			br := bufio.NewReaderSize(conn, 64<<10)
+			buf.B, err = wire.ReadFrame(br, buf.B)
+			frame = buf.B
+		}
+		if err != nil {
+			return nil, err
+		}
+		gotID, err := codec.DecodeResponse(frame, &resp)
+		if err != nil {
+			return nil, err
+		}
+		if gotID != reqID {
+			return nil, fmt.Errorf("netproto: response correlation mismatch (%d != %d)", gotID, reqID)
+		}
+		wt.message(req.Type, len(frame), true)
 	}
 	if !resp.OK {
 		return &resp, fmt.Errorf("netproto: %s failed at %s: %s", req.Type, addr, resp.Err)
 	}
 	return &resp, nil
+}
+
+// readJSONResponse reads one newline-delimited JSON reply. Split out
+// so the JSON-era 1 MiB read bound keeps a single owner.
+func readJSONResponse(br *bufio.Reader, resp *response, wt *wireTele, typ string) error {
+	line, err := br.ReadBytes('\n')
+	if err != nil && len(line) == 0 {
+		return err
+	}
+	if len(line) > 1<<20 {
+		return fmt.Errorf("netproto: oversized JSON response (%d bytes)", len(line))
+	}
+	if _, err := (wire.JSON{}).DecodeResponse(line, resp); err != nil {
+		return err
+	}
+	wt.message(typ, len(line), true)
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // MeteredTransport wraps any Transport — including the fault-injecting
@@ -55,6 +56,8 @@ type peerTele struct {
 	selectSteps            *obs.Counter // select.steps
 
 	compose obs.ComposeCounters
+
+	wire *wireTele
 }
 
 var msgTypes = []string{msgJoin, msgLeave, msgLookup, msgProbe, msgSelect, msgReserve, msgRelease}
@@ -71,6 +74,7 @@ func newPeerTele(reg *obs.Registry) *peerTele {
 		admitRejected: reg.Counter("reserve.rejected"),
 		selectSteps:   reg.Counter("select.steps"),
 		compose:       obs.NewComposeCounters(reg),
+		wire:          newWireTele(reg),
 	}
 	for _, m := range msgTypes {
 		t.rpcSent[m] = reg.Counter("rpc." + m + ".sent")
@@ -78,6 +82,117 @@ func newPeerTele(reg *obs.Registry) *peerTele {
 		t.rpcRetried[m] = reg.Counter("rpc." + m + ".retried")
 	}
 	return t
+}
+
+// wireTele is the wire plane's instrument bundle: message-level bytes
+// per RPC type plus the datagram-layer health counters (fragments,
+// retransmits, suppressed duplicates, CRC failures). A nil *wireTele
+// makes every method a no-op, so the transport never branches on
+// whether telemetry is configured.
+type wireTele struct {
+	bytesSent map[string]*obs.Counter // wire.bytes_sent.<type>
+	bytesRecv map[string]*obs.Counter // wire.bytes_recv.<type>
+	otherSent *obs.Counter            // wire.bytes_sent.other
+	otherRecv *obs.Counter            // wire.bytes_recv.other
+
+	fragSent   *obs.Counter // wire.frags_sent
+	fragRecv   *obs.Counter // wire.frags_recv
+	retransmit *obs.Counter // wire.retransmits
+	dupDropped *obs.Counter // wire.dups_dropped
+	crcFail    *obs.Counter // wire.crc_failures
+	pktReject  *obs.Counter // wire.packet_rejects (malformed, non-CRC)
+}
+
+func newWireTele(reg *obs.Registry) *wireTele {
+	t := &wireTele{
+		bytesSent:  make(map[string]*obs.Counter, len(msgTypes)),
+		bytesRecv:  make(map[string]*obs.Counter, len(msgTypes)),
+		otherSent:  reg.Counter("wire.bytes_sent.other"),
+		otherRecv:  reg.Counter("wire.bytes_recv.other"),
+		fragSent:   reg.Counter("wire.frags_sent"),
+		fragRecv:   reg.Counter("wire.frags_recv"),
+		retransmit: reg.Counter("wire.retransmits"),
+		dupDropped: reg.Counter("wire.dups_dropped"),
+		crcFail:    reg.Counter("wire.crc_failures"),
+		pktReject:  reg.Counter("wire.packet_rejects"),
+	}
+	for _, m := range msgTypes {
+		t.bytesSent[m] = reg.Counter("wire.bytes_sent." + m)
+		t.bytesRecv[m] = reg.Counter("wire.bytes_recv." + m)
+	}
+	return t
+}
+
+// wireTele returns the wire-plane instruments (nil when telemetry is
+// disabled; every wireTele method tolerates the nil).
+func (t *peerTele) wireTele() *wireTele {
+	if t == nil {
+		return nil
+	}
+	return t.wire
+}
+
+// message accounts one encoded message: n bytes of the given RPC
+// type, received (recv) or sent.
+func (t *wireTele) message(typ string, n int, recv bool) {
+	if t == nil {
+		return
+	}
+	var c *obs.Counter
+	if recv {
+		c = t.bytesRecv[typ]
+		if c == nil {
+			c = t.otherRecv
+		}
+	} else {
+		c = t.bytesSent[typ]
+		if c == nil {
+			c = t.otherSent
+		}
+	}
+	c.Add(uint64(n))
+}
+
+func (t *wireTele) fragSent1() {
+	if t == nil {
+		return
+	}
+	t.fragSent.Inc()
+}
+
+func (t *wireTele) fragRecv1() {
+	if t == nil {
+		return
+	}
+	t.fragRecv.Inc()
+}
+
+func (t *wireTele) retransmit1() {
+	if t == nil {
+		return
+	}
+	t.retransmit.Inc()
+}
+
+func (t *wireTele) dupDropped1() {
+	if t == nil {
+		return
+	}
+	t.dupDropped.Inc()
+}
+
+// packetReject classifies a ParsePacket failure: CRC mismatches get
+// their own counter (the corruption signal); everything else counts
+// as a generic reject.
+func (t *wireTele) packetReject(err error) {
+	if t == nil {
+		return
+	}
+	if err == wire.ErrCRC {
+		t.crcFail.Inc()
+	} else {
+		t.pktReject.Inc()
+	}
 }
 
 // observeRPC accounts one RPC exchange. An unknown message type falls

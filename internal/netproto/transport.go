@@ -100,15 +100,16 @@ func (p *Peer) rpcRetry(addr string, req request, timeout time.Duration) (*respo
 	}
 }
 
-// rpc performs a single RPC exchange through the configured transport,
-// accounting the attempt and its latency when telemetry is enabled. The
-// disabled path (tele == nil) adds one branch and no clock reads.
+// rpc performs a single RPC exchange through the configured transport
+// with the peer's configured codec, accounting the attempt and its
+// latency when telemetry is enabled. The disabled path (tele == nil)
+// adds one branch and no clock reads.
 func (p *Peer) rpc(addr string, req request, timeout time.Duration) (*response, error) {
 	if p.tele == nil {
-		return rpc(p.cfg.Transport, addr, req, timeout)
+		return rpcWith(p.cfg.Transport, p.codec, nil, addr, req, timeout)
 	}
 	start := time.Now()
-	resp, err := rpc(p.cfg.Transport, addr, req, timeout)
+	resp, err := rpcWith(p.cfg.Transport, p.codec, p.tele.wire, addr, req, timeout)
 	p.tele.observeRPC(req.Type, time.Since(start), err)
 	return resp, err
 }

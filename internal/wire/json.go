@@ -1,0 +1,47 @@
+package wire
+
+import "encoding/json"
+
+// JSON is the original codec: one marshaled JSON object per message,
+// newline-terminated on the stream (the framing json.Decoder expects).
+// It allocates freely — it exists for rollback and for debuggability
+// (every message is readable with a packet capture and a pager), not
+// for throughput. The zero value is ready to use.
+type JSON struct{}
+
+// Name implements Codec.
+func (JSON) Name() string { return "json" }
+
+// AppendRequest implements Codec. reqID is ignored: the JSON protocol
+// runs one exchange per connection, so correlation is positional.
+func (JSON) AppendRequest(dst []byte, _ uint64, req *Request) ([]byte, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n'), nil
+}
+
+// AppendResponse implements Codec.
+func (JSON) AppendResponse(dst []byte, _ uint64, resp *Response) ([]byte, error) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n'), nil
+}
+
+// DecodeRequest implements Codec. The struct is fully reset first so
+// reuse across messages cannot leak fields JSON omits when empty.
+func (JSON) DecodeRequest(data []byte, req *Request) (uint64, error) {
+	*req = Request{}
+	return 0, json.Unmarshal(data, req)
+}
+
+// DecodeResponse implements Codec.
+func (JSON) DecodeResponse(data []byte, resp *Response) (uint64, error) {
+	*resp = Response{}
+	return 0, json.Unmarshal(data, resp)
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Regenerates BENCH_rpc.json, the wire-plane record for DESIGN.md §12:
+# closed-loop RPC throughput and latency percentiles for the rollback
+# stack (JSON over TCP, one dial per exchange) vs the production stack
+# (binary over reliable UDP), plus exact bytes-on-wire per RPC type
+# under both codecs and an aggregation-weighted size ratio.
+#
+# The engine is TestRPCBenchReport (internal/netproto/rpcbench_test.go),
+# which writes the JSON itself — this script only sets the knobs:
+#
+#   QSA_RPC_BENCH  gates the test (skipped in normal test runs)
+#   QSA_RPC_N      messages per leg (after 50 warm-ups per leg)
+#   QSA_RPC_OUT    where to write the report
+#
+# The test also enforces the wire-plane acceptance bars: binary ≥2x
+# smaller than JSON on the payload-bearing RPCs (lookup, select), and
+# both legs completing with valid responses.
+#
+# Usage: scripts/bench_rpc.sh         (writes BENCH_rpc.json, ~30 s)
+#        scripts/bench_rpc.sh smoke   (reduced run for ci.sh: asserts the
+#                                      size bars and that both transport
+#                                      legs complete; writes nothing)
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+
+if [ "$mode" = smoke ]; then
+	echo '>> rpc smoke: 200 msgs per leg, size bars asserted' >&2
+	QSA_RPC_BENCH=1 QSA_RPC_N=200 \
+		go test -run '^TestRPCBenchReport$' -count=1 ./internal/netproto/ > /dev/null
+	echo '>> ok: both legs completed, binary ≥2x smaller on lookup/select' >&2
+	exit 0
+fi
+
+QSA_RPC_BENCH=1 QSA_RPC_N=5000 QSA_RPC_OUT="$PWD/BENCH_rpc.json" \
+	go test -run '^TestRPCBenchReport$' -count=1 ./internal/netproto/ > /dev/null
+
+cat BENCH_rpc.json
