@@ -99,10 +99,20 @@ func main() {
 		duration  = flag.Duration("duration", time.Minute, "session duration")
 		debugAddr = flag.String("debug-addr", "", "serve runtime metrics over HTTP at this address (/metrics text, /vars JSON)")
 		teleOut   = flag.String("telemetry", "", "write the JSONL decision-trace stream for aggregations to this file")
+		traceOut  = flag.String("trace-out", "", "synonym for -telemetry: the causal spans ride the same stream (qsastat -trace reads it)")
+		traceFrac = flag.Float64("trace-sample", 1, "fraction of aggregations to trace with causal spans (deterministic per request ID)")
 	)
 	flag.Parse()
 
-	pcfg := netproto.Config{Listen: *listen, CPU: *cpu, Memory: *mem, Network: *transport, Codec: *codec}
+	if *traceOut != "" {
+		if *teleOut != "" && *teleOut != *traceOut {
+			fmt.Fprintln(os.Stderr, "-telemetry and -trace-out name different files; spans and decisions share one stream")
+			os.Exit(2)
+		}
+		*teleOut = *traceOut
+	}
+	pcfg := netproto.Config{Listen: *listen, CPU: *cpu, Memory: *mem, Network: *transport, Codec: *codec,
+		TraceSample: *traceFrac}
 	pcfg.Wire.MTU = *mtu
 	if *debugAddr != "" {
 		pcfg.Metrics = obs.NewRegistry()

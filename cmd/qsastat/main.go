@@ -10,6 +10,8 @@
 //	qsastat -req 17 -hop 2 run.tel.jsonl  # candidate set of hop 2 only
 //	qsastat -metrics run.metrics.json run.tel.jsonl
 //	                                      # + hot-path cache effectiveness
+//	qsastat -trace run.tel.jsonl          # SLO latency table + span reconciliation
+//	qsastat -trace -req 17 run.tel.jsonl  # span timeline + critical path of request 17
 //
 // The -metrics input is the JSON snapshot written by
 // `qsasim -metrics-out` (the same shape qsapeer serves at /vars); from
@@ -40,6 +42,7 @@ func run(args []string, out io.Writer) error {
 	req := fs.Uint64("req", 0, "explain this request ID (trace IDs start at 1)")
 	hop := fs.Int("hop", 0, "with -req: show only this 1-based hop's candidate decisions")
 	met := fs.String("metrics", "", "metrics snapshot JSON (qsasim -metrics-out); adds a cache-effectiveness section")
+	trc := fs.Bool("trace", false, "causal-span mode: SLO latency table and span/decision reconciliation; with -req, one request's span timeline and critical path")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +62,9 @@ func run(args []string, out io.Writer) error {
 	rep, err := obs.Analyze(events)
 	if err != nil {
 		return err
+	}
+	if *trc {
+		return traceReport(out, events, rep, *req)
 	}
 	if *req != 0 {
 		return explain(out, rep, *req, *hop)

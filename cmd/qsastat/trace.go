@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// traceReport is the -trace mode: reconstruct the causal span trees of
+// the stream, reconcile their root outcomes against the decision-trace
+// request outcomes, and print the SLO latency table (per-stage
+// p50/p99/p999). With -req it instead prints one request's span
+// timeline and critical path.
+func traceReport(out io.Writer, events []obs.Event, rep *obs.Report, req uint64) error {
+	srep, err := obs.AnalyzeSpans(events)
+	if err != nil {
+		return err
+	}
+	if len(srep.Traces) == 0 {
+		fmt.Fprintln(out, "no spans in trace (run with span sampling enabled: qsasim -trace-sample 1, qsapeer -trace-sample 1)")
+		return nil
+	}
+	if req != 0 {
+		return explainTrace(out, srep, req)
+	}
+
+	fmt.Fprintf(out, "%d traced requests, %d spans", len(srep.Traces), srep.Spans)
+	if srep.Orphans > 0 {
+		fmt.Fprintf(out, " (%d orphaned: parent missing from stream)", srep.Orphans)
+	}
+	fmt.Fprintln(out)
+
+	// Reconciliation: the span plane's root outcomes against the
+	// decision stream's request outcomes. At full sampling every row
+	// must match exactly; under partial sampling traces are a subset.
+	full := len(srep.Traces) == rep.Total
+	if !full {
+		fmt.Fprintf(out, "sampled %d of %d requests; span counts are a subset\n", len(srep.Traces), rep.Total)
+	}
+	fmt.Fprintf(out, "\noutcome reconciliation (spans vs decision stream):\n")
+	fmt.Fprintf(out, "  %-20s %8s %8s\n", "outcome", "spans", "events")
+	mismatch := false
+	for _, sc := range rep.ByStage {
+		n := srep.Count(sc.Stage)
+		line := fmt.Sprintf("  %-20s %8d %8d", sc.Stage, n, sc.N)
+		if full && n != sc.N {
+			line += "   MISMATCH"
+			mismatch = true
+		}
+		fmt.Fprintln(out, line)
+	}
+	for _, sc := range srep.ByStage {
+		if rep.Count(sc.Stage) == 0 && sc.N > 0 {
+			fmt.Fprintf(out, "  %-20s %8d %8d   MISMATCH\n", sc.Stage, sc.N, 0)
+			mismatch = true
+		}
+	}
+	if mismatch {
+		return fmt.Errorf("span outcomes do not reconcile with the decision stream")
+	}
+	if full {
+		fmt.Fprintf(out, "  reconciled exactly: %d/%d requests\n", len(srep.Traces), rep.Total)
+	}
+
+	fmt.Fprintf(out, "\nSLO latency by stage%s:\n", clockUnitNote(events))
+	fmt.Fprintf(out, "  %-12s %8s %10s %10s %10s %10s\n", "stage", "count", "p50", "p99", "p999", "mean")
+	for _, sl := range srep.Latency {
+		v := sl.Value
+		mean := 0.0
+		if v.Count > 0 {
+			mean = v.Sum / float64(v.Count)
+		}
+		fmt.Fprintf(out, "  %-12s %8d %10.4g %10.4g %10.4g %10.4g\n",
+			sl.Stage, v.Count, v.Quantile(0.5), v.Quantile(0.99), v.Quantile(0.999), mean)
+	}
+	return nil
+}
+
+// clockUnitNote flags the all-zero-duration case: simulator spans run
+// at one virtual instant, so their latency axis is degenerate by
+// design and the table would otherwise read as a bug.
+func clockUnitNote(events []obs.Event) string {
+	for _, ev := range events {
+		if ev.Kind == obs.KindSpan && ev.Duration > 0 {
+			return ""
+		}
+	}
+	return " (all durations zero: simulator spans carry structure, not latency)"
+}
+
+// explainTrace prints one request's span tree and critical path.
+func explainTrace(out io.Writer, srep *obs.SpanReport, req uint64) error {
+	t := srep.Trace(req)
+	if t == nil {
+		return fmt.Errorf("request %d has no trace (%d traced requests; was it sampled?)", req, len(srep.Traces))
+	}
+	fmt.Fprintf(out, "request %d  trace %016x  %d spans  outcome: %s\n", t.Req, t.Trace, t.Spans, t.Outcome())
+	if t.Root == nil {
+		return fmt.Errorf("request %d: trace has no root span (partial stream)", req)
+	}
+	onPath := make(map[*obs.SpanNode]bool)
+	for _, n := range t.CriticalPath() {
+		onPath[n] = true
+	}
+	printSpan(out, t.Root, 0, onPath)
+	for _, n := range t.Orphans {
+		fmt.Fprintf(out, "  (orphan) ")
+		printSpan(out, n, 0, nil)
+	}
+	var cp []string
+	var cpTotal float64
+	for _, n := range t.CriticalPath() {
+		cp = append(cp, spanLabel(n.Event))
+		cpTotal += n.SelfTime()
+	}
+	fmt.Fprintf(out, "critical path: %s (self-time total %.4g, root duration %.4g)\n",
+		strings.Join(cp, " -> "), cpTotal, t.Root.Event.Duration)
+	return nil
+}
+
+// spanLabel names a span for display: its stage (with hop/instance
+// attribution when present), or "request" for the root.
+func spanLabel(ev obs.Event) string {
+	label := ev.Stage
+	if label == "" {
+		label = obs.SpanStageRequest
+	}
+	if ev.Hop > 0 {
+		label += fmt.Sprintf("[hop %d]", ev.Hop)
+	}
+	if ev.At != "" {
+		label += "@" + ev.At
+	}
+	return label
+}
+
+func printSpan(out io.Writer, n *obs.SpanNode, depth int, onPath map[*obs.SpanNode]bool) {
+	mark := " "
+	if onPath[n] {
+		mark = "*"
+	}
+	fmt.Fprintf(out, "  %s %s%-*s start=%-10.4g dur=%-10.4g", mark,
+		strings.Repeat("  ", depth), 24-2*depth, spanLabel(n.Event), n.Start(), n.Event.Duration)
+	switch {
+	case n.Event.Err != "":
+		fmt.Fprintf(out, " err=%s", n.Event.Err)
+	case n.Event.OK:
+		fmt.Fprint(out, " ok")
+	}
+	if n.Event.Session != "" {
+		fmt.Fprintf(out, " session=%s", n.Event.Session)
+	}
+	if n.Event.Chosen != "" {
+		fmt.Fprintf(out, " chose=%s", n.Event.Chosen)
+	}
+	fmt.Fprintln(out)
+	for _, c := range n.Children {
+		printSpan(out, c, depth+1, onPath)
+	}
+}

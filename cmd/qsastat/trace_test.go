@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// writeSpanTrace is writeTrace with full span sampling: every request
+// carries a causal span tree in the stream.
+func writeSpanTrace(t *testing.T) (string, *sim.Result) {
+	t.Helper()
+	cfg := sim.DefaultConfig(31, sim.QSA, 600)
+	cfg.RequestRate = 40
+	cfg.Duration = 15
+	cfg.ChurnRate = 12
+	cfg.EnableRecovery = true
+	cfg.SpanSample = 1
+	var buf bytes.Buffer
+	cfg.TelemetryOut = &buf
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TelemetryErr != nil {
+		t.Fatal(res.TelemetryErr)
+	}
+	path := filepath.Join(t.TempDir(), "run.tel.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, res
+}
+
+func TestTraceReportReconciles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation; skipped under -short")
+	}
+	path, res := writeSpanTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Full sampling: the span plane and the decision stream must agree
+	// on every outcome row, request for request.
+	want := fmt.Sprintf("reconciled exactly: %d/%d requests", res.Requests.Issued, res.Requests.Issued)
+	if !strings.Contains(text, want) {
+		t.Fatalf("missing %q in:\n%s", want, text)
+	}
+	if strings.Contains(text, "MISMATCH") {
+		t.Fatalf("reconciliation mismatch:\n%s", text)
+	}
+	for _, row := range []string{"SLO latency by stage", "request", "discovery", "selection"} {
+		if !strings.Contains(text, row) {
+			t.Fatalf("SLO table missing %q in:\n%s", row, text)
+		}
+	}
+	// Simulator stage spans are zero-duration, but the root spans run
+	// admission-to-outcome in virtual minutes — so the stream is not
+	// degenerate and the all-zero caveat must not appear.
+	if strings.Contains(text, "all durations zero") {
+		t.Fatalf("zero-duration note printed for a stream with root durations:\n%s", text)
+	}
+}
+
+func TestTraceExplainRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation; skipped under -short")
+	}
+	path, _ := writeSpanTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "-req", "1", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "request 1") || !strings.Contains(text, "trace ") {
+		t.Fatalf("trace header missing:\n%s", text)
+	}
+	if !strings.Contains(text, "critical path: request") {
+		t.Fatalf("critical path line missing:\n%s", text)
+	}
+	if err := run([]string{"-trace", "-req", "99999999", path}, &out); err == nil {
+		t.Fatal("unknown request accepted in -trace mode")
+	}
+}
+
+func TestTraceReportNoSpans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation; skipped under -short")
+	}
+	// A span-free stream (sampling off) is not an error: the mode says
+	// how to enable sampling instead of printing an empty report.
+	path, _ := writeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no spans in trace") {
+		t.Fatalf("span-free stream not explained:\n%s", out.String())
+	}
+}

@@ -13,3 +13,7 @@ func (t *Tracer) Emit(v float64) { t.last = v }
 
 // EmitEvent records one event.
 func (t *Tracer) EmitEvent(e Event) { t.last = e.T }
+
+// EmitSpan closes a span whose start timestamp lands in the replayed
+// stream, mirroring the real tracer's span sink.
+func (t *Tracer) EmitSpan(e Event, start float64) { t.last = e.T - start }

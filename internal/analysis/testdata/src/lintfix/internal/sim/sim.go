@@ -87,3 +87,25 @@ func SpecInit(m map[int]int) RequestStats {
 func EmitEventClean(tr *obs.Tracer, x float64) {
 	tr.EmitEvent(obs.Event{T: x})
 }
+
+// SpanWallStart stamps a span endpoint from the wall clock (read
+// through netproto, so only the module-wide fixpoint sees it): the
+// taint must be caught at the span sink, proving wall time cannot
+// reach sim-mode span timestamps unflagged.
+func SpanWallStart(tr *obs.Tracer) {
+	start := netproto.NowSec()
+	tr.EmitSpan(obs.Event{}, start) // want detflow
+}
+
+// SpanWallEvent routes the same taint through the span event's
+// timestamp field instead of the start argument.
+func SpanWallEvent(tr *obs.Tracer) {
+	e := obs.Event{T: netproto.NowSec()} // want detflow
+	tr.EmitSpan(e, 0) // want detflow
+}
+
+// SpanVirtual is the negative case: span endpoints taken from the
+// injected virtual clock replay byte-identically and pass clean.
+func SpanVirtual(tr *obs.Tracer, now float64) {
+	tr.EmitSpan(obs.Event{T: now}, now)
+}

@@ -183,6 +183,20 @@ type Aggregator struct {
 	// join the caller's request span; it is never read when Tracer is
 	// nil.
 	ReqID uint64
+	// Spans, when enabled, mints the causal stage spans of the request
+	// trace, and ReqSpan is the current request's root span context —
+	// set by the caller alongside ReqID (the zero context marks the
+	// request unsampled, making every stage span inert). Stage spans are
+	// emitted only from the serial paths — Aggregate, AggregateFinish,
+	// and the attempt loop — never from the Prepare* speculative stages,
+	// so the span-ID sequence (and with it every trace byte) replays
+	// identically across shard counts. In simulator virtual time the
+	// whole pipeline runs at one instant, so these spans are
+	// zero-duration: they carry structure (stage order, attempts,
+	// outcomes), not latency; the prototype's wall-clock spans carry
+	// both (DESIGN §13).
+	Spans   *obs.Spans
+	ReqSpan obs.SpanContext
 
 	sc aggScratch
 }
@@ -206,6 +220,14 @@ func stageName(s Stage) string {
 // mapping (every non-pipeline admission error is "admission").
 func EventStage(err error) string {
 	return stageName(StageOf(err))
+}
+
+// stageSpan closes one stage span under the current request's root.
+// The disabled path (Spans nil or the request unsampled) is a couple of
+// branches and allocates nothing; call sites that build allocating
+// event fields gate on Spans.Enabled() first.
+func (a *Aggregator) stageSpan(ev obs.Event) {
+	a.Spans.Join(a.ReqSpan, a.ReqID).End(ev)
 }
 
 // Discovery is the result of looking up every service of an abstract path.
@@ -288,11 +310,20 @@ func (a *Aggregator) Aggregate(user topology.PeerID, req *service.Request,
 	now float64, strat Strategy) (*session.Session, error) {
 
 	if err := req.Validate(); err != nil {
+		if a.Spans.Enabled() {
+			a.stageSpan(obs.Event{Stage: obs.StageDiscovery, Err: err.Error()})
+		}
 		return nil, &ErrAggregation{StageDiscovery, err}
 	}
 	disc := &a.sc.disc
 	if err := a.discoverInto(disc, user, req.App.Path, now); err != nil {
+		if a.Spans.Enabled() {
+			a.stageSpan(obs.Event{Stage: obs.StageDiscovery, Err: err.Error()})
+		}
 		return nil, err
+	}
+	if a.Spans.Enabled() {
+		a.stageSpan(obs.Event{Stage: obs.StageDiscovery, OK: true})
 	}
 	return a.runAttempts(user, req, now, strat, disc, a.RNG, nil, nil, false)
 }
@@ -393,6 +424,9 @@ func (a *Aggregator) attemptWith(user topology.PeerID, req *service.Request, now
 		if a.Tracer != nil {
 			a.Tracer.Emit(obs.Event{Kind: obs.KindCompose, Req: a.ReqID, Attempt: attempt, Err: err.Error()})
 		}
+		if a.Spans.Enabled() {
+			a.stageSpan(obs.Event{Stage: obs.StageCompose, Attempt: attempt, Err: err.Error()})
+		}
 		return nil, nil, &ErrAggregation{StageCompose, err}
 	}
 	if a.Tracer != nil {
@@ -404,6 +438,9 @@ func (a *Aggregator) attemptWith(user topology.PeerID, req *service.Request, now
 		a.Tracer.Emit(obs.Event{Kind: obs.KindCompose, Req: a.ReqID, Attempt: attempt,
 			Path: ids, Cost: path.Cost, OK: true})
 	}
+	if a.Spans.Enabled() {
+		a.stageSpan(obs.Event{Stage: obs.StageCompose, Attempt: attempt, Cost: path.Cost, OK: true})
+	}
 
 	for len(a.sc.providers) < len(path.Instances) {
 		a.sc.providers = append(a.sc.providers, nil)
@@ -412,6 +449,10 @@ func (a *Aggregator) attemptWith(user topology.PeerID, req *service.Request, now
 	for k, inst := range path.Instances {
 		providers[k] = disc.Providers(k, inst, now, providers[k][:0])
 		if len(providers[k]) == 0 {
+			if a.Spans.Enabled() {
+				a.stageSpan(obs.Event{Stage: obs.StageSelection, Attempt: attempt,
+					Err: "no live providers for " + inst.ID})
+			}
 			return nil, path, &ErrAggregation{StageSelection, fmt.Errorf("no live providers for %s", inst.ID)}
 		}
 	}
@@ -426,13 +467,22 @@ func (a *Aggregator) attemptWith(user topology.PeerID, req *service.Request, now
 		peers, ok = a.FixedSelector.SelectPath(user, path.Instances, providers, req.Duration, now)
 	}
 	if !ok {
+		if a.Spans.Enabled() {
+			a.stageSpan(obs.Event{Stage: obs.StageSelection, Attempt: attempt, Err: "no selectable peer"})
+		}
 		return nil, path, &ErrAggregation{StageSelection, fmt.Errorf("no selectable peer")}
+	}
+	if a.Spans.Enabled() {
+		a.stageSpan(obs.Event{Stage: obs.StageSelection, Attempt: attempt, OK: true})
 	}
 
 	sess, err := a.Sessions.Admit(user, path.Instances, peers, req.Duration)
 	if err != nil {
 		if a.Tracer != nil {
 			a.Tracer.Emit(obs.Event{Kind: obs.KindReserve, Req: a.ReqID, Attempt: attempt, Err: err.Error()})
+		}
+		if a.Spans.Enabled() {
+			a.stageSpan(obs.Event{Stage: obs.StageAdmission, Attempt: attempt, Err: err.Error()})
 		}
 		return nil, path, &ErrAggregation{StageAdmission, err}
 	}
@@ -446,6 +496,11 @@ func (a *Aggregator) attemptWith(user topology.PeerID, req *service.Request, now
 		a.Tracer.Emit(obs.Event{Kind: obs.KindAdmit, Req: a.ReqID, Attempt: attempt,
 			// lint:allow hotalloc tracer-enabled block; the steady-state bench runs with Tracer nil
 			Session: strconv.FormatUint(sess.ID, 10), Path: hosts, OK: true})
+	}
+	if a.Spans.Enabled() {
+		a.stageSpan(obs.Event{Stage: obs.StageAdmission, Attempt: attempt, OK: true,
+			// lint:allow hotalloc span-enabled block; the steady-state bench runs with Spans nil
+			Session: strconv.FormatUint(sess.ID, 10)})
 	}
 	return sess, path, nil
 }
@@ -519,7 +574,16 @@ func (a *Aggregator) AggregateFinish(p *PreparedAggregation, user topology.PeerI
 	req *service.Request, now float64, strat Strategy, rng *xrand.Source) (*session.Session, error) {
 
 	if p.Err != nil {
+		if a.Spans.Enabled() {
+			a.stageSpan(obs.Event{Stage: EventStage(p.Err), Err: p.Err.Error()})
+		}
 		return nil, p.Err
+	}
+	// The discovery span is closed here — at the commit, not in
+	// PrepareDiscovery — so the span-ID stream advances in commit order
+	// exactly as the unsharded execution would.
+	if a.Spans.Enabled() {
+		a.stageSpan(obs.Event{Stage: obs.StageDiscovery, OK: true})
 	}
 	if !p.Composed {
 		a.PrepareCompose(p, req, strat, rng)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/selection"
 	"repro/internal/service"
 	"repro/internal/wire"
+	"repro/internal/xrand"
 )
 
 // Config parameterizes a network peer.
@@ -71,6 +72,12 @@ type Config struct {
 	// tracer's clock decides timestamping: cmd/qsapeer uses wall time,
 	// tests inject deterministic clocks.
 	Tracer *obs.Tracer
+	// TraceSample, in [0, 1], is the fraction of this peer's
+	// aggregations that mint causal spans (KindSpan) into the Tracer
+	// stream. The decision is a pure hash of the request ID, so a given
+	// request samples identically on every run. 0 means the default of
+	// 1 (trace everything the Tracer sees); ignored when Tracer is nil.
+	TraceSample float64
 }
 
 func (c *Config) fillDefaults() {
@@ -92,6 +99,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ProbeCacheTTL == 0 {
 		c.ProbeCacheTTL = time.Second
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
 	}
 	c.Wire.fillDefaults()
 	if c.Transport == nil && c.Network != "udp" {
@@ -131,6 +141,9 @@ func (c Config) Validate() error {
 	}
 	if c.MonitorInterval < 0 {
 		return fmt.Errorf("netproto: negative MonitorInterval %v", c.MonitorInterval)
+	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return fmt.Errorf("netproto: trace sample fraction %g outside [0, 1]", c.TraceSample)
 	}
 	if c.Retry.Attempts < 0 {
 		return fmt.Errorf("netproto: negative retry attempts %d", c.Retry.Attempts)
@@ -201,7 +214,9 @@ type Peer struct {
 	nextReq   uint64
 	closed    bool
 
-	tele *peerTele // nil when Config.Metrics is nil
+	tele     *peerTele  // nil when Config.Metrics is nil
+	spans    *obs.Spans // nil when Config.Tracer is nil
+	spanSalt uint64     // TraceSample decision salt
 
 	done chan struct{} // closed on Close; stops session monitors
 	wg   sync.WaitGroup
@@ -220,8 +235,8 @@ func Start(cfg Config) (*Peer, error) {
 	if cfg.Transport == nil {
 		// Only reachable for Network == "udp" (fillDefaults handles tcp):
 		// build the datagram transport here so it shares the peer's wire
-		// telemetry.
-		cfg.Transport = &UDPTransport{cfg: cfg.Wire, tele: tele.wireTele()}
+		// telemetry and trace sink.
+		cfg.Transport = &UDPTransport{cfg: cfg.Wire, tele: tele.wireTele(), tracer: cfg.Tracer}
 	}
 	if cfg.Metrics != nil {
 		cfg.Transport = NewMeteredTransport(cfg.Transport, cfg.Metrics)
@@ -232,7 +247,7 @@ func Start(cfg Config) (*Peer, error) {
 	}
 	var ln net.Listener
 	if cfg.Network == "udp" {
-		ln, err = listenUDP(cfg.Listen, cfg.Wire, tele.wireTele())
+		ln, err = listenUDP(cfg.Listen, cfg.Wire, tele.wireTele(), cfg.Tracer)
 	} else {
 		ln, err = net.Listen("tcp", cfg.Listen)
 	}
@@ -259,10 +274,33 @@ func Start(cfg Config) (*Peer, error) {
 		probes:    make(map[string]probeResult),
 		done:      make(chan struct{}),
 		tele:      tele,
+		// Span IDs are salted by the listen address: each peer mints IDs
+		// from its own stream, so spans joined across peers cannot
+		// collide while a fixed topology stays reproducible.
+		spans:    obs.NewSpans(cfg.Tracer, xrand.MixString(0x51534153, ln.Addr().String())),
+		spanSalt: xrand.MixString(0x53414d50, ln.Addr().String()),
 	}
 	p.wg.Add(1)
 	go p.serve()
 	return p, nil
+}
+
+// rootSpan mints the root span for request rid, or an inert span when
+// rid falls outside the TraceSample fraction. The decision is a pure
+// hash of (listen address, rid): re-running the same workload on the
+// same topology traces the same requests, and an unsampled root hands
+// every downstream stage — local and remote, via the empty wire trace
+// context — an inert span.
+func (p *Peer) rootSpan(rid uint64) obs.Span {
+	if p.spans == nil {
+		return obs.Span{}
+	}
+	if f := p.cfg.TraceSample; f < 1 {
+		if float64(xrand.MixIndex(p.spanSalt, rid)>>11)/(1<<53) >= f {
+			return obs.Span{}
+		}
+	}
+	return p.spans.Root(rid)
 }
 
 // Addr returns the peer's listen address.
@@ -534,14 +572,19 @@ func (p *Peer) handleProbe() response {
 }
 
 func (p *Peer) handleReserve(req request) response {
+	sp := p.spans.Join(obs.SpanContext{Trace: req.TraceID, Span: req.SpanID}, 0)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	need := resource.Vec2(req.CPU, req.Memory)
 	if !p.ledger.Reserve(need) {
 		p.tele.reserve(false)
+		sp.End(obs.Event{Stage: obs.StageAdmission, At: p.addr, Inst: req.InstanceID,
+			Session: req.SessionID, Err: "insufficient resources"})
 		return response{Err: "insufficient resources"}
 	}
 	p.tele.reserve(true)
+	sp.End(obs.Event{Stage: obs.StageAdmission, At: p.addr, Inst: req.InstanceID,
+		Session: req.SessionID, OK: true})
 	// A session may place several components on the same host; the
 	// reservations accumulate and release together.
 	if held, ok := p.sessions[req.SessionID]; ok {
@@ -679,6 +722,16 @@ func (p *Peer) handleSelect(req request) response {
 	if err != nil {
 		return response{Err: err.Error()}
 	}
+	// Join the initiator's trace: this hop's work becomes a child of the
+	// span whose context rode the request. Inert when this peer has no
+	// tracer or the request is untraced.
+	sp := p.spans.Join(obs.SpanContext{Trace: req.TraceID, Span: req.SpanID}, 0)
+	// done stamps the hop's decision on the span; every return ends it
+	// exactly once.
+	done := func(chosen, mode string, ok bool) {
+		sp.End(obs.Event{Stage: obs.StageSelection, Hop: req.Idx + 1, Inst: inst.ID,
+			At: p.addr, Chosen: chosen, Mode: mode, OK: ok})
+	}
 	duration := time.Duration(req.DurationSec * float64(time.Second))
 	chosen, ok, mode, cands := p.selectNext(inst, req.Candidates[inst.ID], duration, req.Trace)
 	var hops []WireHop
@@ -686,15 +739,23 @@ func (p *Peer) handleSelect(req request) response {
 		hops = []WireHop{{Idx: req.Idx, At: p.addr, Inst: inst.ID, Chosen: chosen, Mode: mode, Cands: cands}}
 	}
 	if !ok {
+		done("", mode, false)
 		return response{Err: fmt.Sprintf("no selectable peer for %s", inst.ID), Hops: hops}
 	}
 	chain := append([]string{chosen}, req.Chain...)
 	if req.Idx == 0 {
+		done(chosen, mode, true)
 		return response{OK: true, Chain: chain, Hops: hops}
 	}
 	next := req
 	next.Idx--
 	next.Chain = chain
+	if sp.Active() {
+		// The forwarded hop parents under this hop's span, stitching the
+		// recursion into one causal chain across peers.
+		ctx := sp.Context()
+		next.TraceID, next.SpanID = ctx.Trace, ctx.Span
+	}
 	// Select is forwarded exactly once: a retry would re-run the whole
 	// downstream selection recursion (amplifying probe traffic), and a
 	// failed hop already fails the aggregation cleanly at the initiator.
@@ -706,10 +767,12 @@ func (p *Peer) handleSelect(req request) response {
 		if resp != nil {
 			out.Hops = append(out.Hops, resp.Hops...)
 		}
+		done(chosen, mode, false)
 		return out
 	}
 	out := *resp
 	out.Hops = append(hops, out.Hops...)
+	done(chosen, mode, out.OK)
 	return out
 }
 
@@ -734,6 +797,12 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		tr.Emit(obs.Event{Kind: obs.KindRequest, Req: rid, User: p.addr,
 			App: strings.Join(names, "+"), Duration: duration.Seconds()})
 	}
+	// The root span covers the whole aggregation; each pipeline stage
+	// gets a child, and the remote legs (selection hops, reservations)
+	// parent under the stage they serve via the wire trace context.
+	// With tracing disabled (p.spans nil) every span below is inert.
+	root := p.rootSpan(rid)
+	aggStart := time.Now()
 	// fail stamps the terminal failure stage on the request span and
 	// passes the error through, so every early return below stays a
 	// one-liner.
@@ -741,9 +810,14 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.KindFail, Req: rid, Stage: stage, Err: err.Error()})
 		}
+		p.tele.aggregated(time.Since(aggStart).Seconds())
+		root.End(obs.Event{Stage: stage, Err: err.Error()})
 		return err
 	}
 	members := append(p.Members(), p.addr)
+
+	spDisc := root.Child()
+	discStart := time.Now()
 
 	// Discovery fan-out, one goroutine per member.
 	type lookupResult struct {
@@ -795,8 +869,13 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 			providers[in.ID] = append(providers[in.ID], off.Provider)
 		}
 	}
+	discDone := func(ok bool) {
+		p.tele.stage(obs.StageDiscovery, time.Since(discStart).Seconds())
+		spDisc.End(obs.Event{Stage: obs.StageDiscovery, OK: ok})
+	}
 	for k := range layers {
 		if len(layers[k]) == 0 {
+			discDone(false)
 			return nil, fail(obs.StageDiscovery, fmt.Errorf("netproto: no candidates for %q", path[k]))
 		}
 		sort.Slice(layers[k], func(i, j int) bool { return layers[k][i].ID < layers[k][j].ID })
@@ -804,13 +883,18 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	for id := range providers {
 		sort.Strings(providers[id])
 	}
+	discDone(true)
 
 	// Tier 1: composition.
+	spComp := root.Child()
+	compStart := time.Now()
 	composed, err := compose.QCS(layers, userQoS, compose.Config{Weights: p.cfg.Weights, Obs: p.tele.composeObs()})
+	p.tele.stage(obs.StageCompose, time.Since(compStart).Seconds())
 	if err != nil {
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.KindCompose, Req: rid, Err: err.Error()})
 		}
+		spComp.End(obs.Event{Stage: obs.StageCompose, Err: err.Error()})
 		return nil, fail(obs.StageCompose, err)
 	}
 	if tr != nil {
@@ -820,6 +904,7 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		}
 		tr.Emit(obs.Event{Kind: obs.KindCompose, Req: rid, Path: ids, Cost: composed.Cost, OK: true})
 	}
+	spComp.End(obs.Event{Stage: obs.StageCompose, OK: true, Cost: composed.Cost})
 
 	// Tier 2: distributed hop-by-hop selection starting at the user side.
 	specs := make([]WireInstance, len(composed.Instances))
@@ -828,6 +913,8 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		specs[i] = ToWire(in)
 		cands[in.ID] = providers[in.ID]
 	}
+	spSel := root.Child()
+	selCtx := spSel.Context()
 	selReq := request{
 		Type:        msgSelect,
 		Instances:   specs,
@@ -836,8 +923,14 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 		UserAddr:    p.addr,
 		DurationSec: duration.Seconds(),
 		Trace:       tr != nil,
+		TraceID:     selCtx.Trace,
+		SpanID:      selCtx.Span,
 	}
+	selStart := time.Now()
 	resp := p.handleSelect(selReq)
+	p.tele.stage(obs.StageSelection, time.Since(selStart).Seconds())
+	// lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
+	spSel.End(obs.Event{Stage: obs.StageSelection, OK: resp.OK})
 	if tr != nil {
 		emitHops(tr, rid, resp.Hops)
 	}
@@ -854,6 +947,13 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 	p.nextSess++
 	sid := fmt.Sprintf("%s/%d", p.addr, p.nextSess)
 	p.mu.Unlock()
+	spAdm := root.Child()
+	admCtx := spAdm.Context()
+	admStart := time.Now()
+	admDone := func(ok bool) {
+		p.tele.stage(obs.StageAdmission, time.Since(admStart).Seconds())
+		spAdm.End(obs.Event{Stage: obs.StageAdmission, OK: ok})
+	}
 	reserved := make([]string, 0, len(chain))
 	for i, host := range chain {
 		in := composed.Instances[i]
@@ -868,6 +968,8 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 			CPU:         in.R[resource.CPU],
 			Memory:      in.R[resource.Memory],
 			DurationSec: duration.Seconds(),
+			TraceID:     admCtx.Trace,
+			SpanID:      admCtx.Span,
 		}, p.cfg.RPCTimeout)
 		if tr != nil {
 			// lint:allow detflow netproto traces record real-network outcomes; bit-for-bit replay is a sim-only guarantee
@@ -875,8 +977,7 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 			if err != nil {
 				ev.Err = err.Error() // lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
 			}
-			// lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
-			tr.Emit(ev)
+			tr.Emit(ev) // lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
 		}
 		if err != nil {
 			for _, h := range reserved {
@@ -885,10 +986,12 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 				// session duration anyway.
 				_, _ = p.rpcRetry(h, request{Type: msgRelease, SessionID: sid}, p.cfg.RPCTimeout)
 			}
+			admDone(false)
 			return nil, fail(obs.StageAdmission, fmt.Errorf("netproto: admission failed at %s: %v", host, err))
 		}
 		reserved = append(reserved, host)
 	}
+	admDone(true)
 
 	plan := &Plan{SessionID: sid, Peers: chain, Cost: composed.Cost}
 	for _, in := range composed.Instances {
@@ -899,6 +1002,8 @@ func (p *Peer) Aggregate(path []service.Name, userQoS qos.Vector, duration time.
 			// lint:allow detflow netproto traces record real-network outcomes; replay is sim-only
 			Path: append([]string(nil), chain...), OK: true})
 	}
+	p.tele.aggregated(time.Since(aggStart).Seconds())
+	root.End(obs.Event{OK: true, Session: sid})
 
 	if p.cfg.MonitorInterval > 0 {
 		sess := &initiated{

@@ -158,6 +158,12 @@ func rpcWith(tr Transport, codec wire.Codec, wt *wireTele, addr string, req requ
 		return nil, err
 	}
 	defer conn.Close()
+	if tc, ok := conn.(traceCarrier); ok {
+		// Hand the causal context down to the datagram layer, so a
+		// retransmission of this message surfaces inside the request's
+		// span tree rather than as an anonymous transport event.
+		tc.CarryTrace(req.TraceID, req.SpanID)
+	}
 	deadline := time.Now().Add(timeout)
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err

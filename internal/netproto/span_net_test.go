@@ -1,0 +1,338 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// tracedPeer starts a peer with its own tracer writing into a buffer,
+// so tests can assert on the per-peer event streams.
+func tracedPeer(t *testing.T, cpu float64) (*Peer, *bytes.Buffer, *obs.Tracer) {
+	t.Helper()
+	var buf bytes.Buffer
+	begin := time.Now()
+	tr := obs.NewTracer(&buf, func() float64 { return time.Since(begin).Seconds() })
+	p, err := Start(Config{Listen: "127.0.0.1:0", CPU: cpu, Memory: cpu,
+		RPCTimeout: 2 * time.Second, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, &buf, tr
+}
+
+// TestSpansStitchAcrossPeers is the tentpole's cross-peer property: the
+// initiator's request span tree and the serving peers' spans share one
+// trace ID, with parent links that cross the wire through the RPC
+// envelope's trace context.
+func TestSpansStitchAcrossPeers(t *testing.T) {
+	type traced struct {
+		p   *Peer
+		buf *bytes.Buffer
+		tr  *obs.Tracer
+	}
+	peers := make([]traced, 4)
+	for i := range peers {
+		p, buf, tr := tracedPeer(t, 200)
+		peers[i] = traced{p: p, buf: buf, tr: tr}
+		if i > 0 {
+			if err := p.Join(peers[0].p.Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	src := inst("source#0", "source", "RAW", "MPEG", 50, 40)
+	snk := inst("player#0", "player", "MPEG", "SCREEN", 30, 30)
+	if err := peers[1].p.Provide(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[2].p.Provide(snk); err != nil {
+		t.Fatal(err)
+	}
+	user := peers[3]
+	if _, err := user.p.Aggregate([]service.Name{"source", "player"}, userQoS, 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	events := make([][]obs.Event, len(peers))
+	for i := range peers {
+		if err := peers[i].tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := obs.ReadEvents(peers[i].buf)
+		if err != nil {
+			t.Fatalf("peer %d stream: %v", i, err)
+		}
+		events[i] = evs
+	}
+
+	// The initiator's tree: one root (no parent) plus the four stage
+	// children, all under one trace.
+	var root *obs.Event
+	stages := map[string]*obs.Event{}
+	for i := range events[3] {
+		ev := &events[3][i]
+		if ev.Kind != obs.KindSpan {
+			continue
+		}
+		if ev.Parent == 0 && ev.Stage == "" {
+			if root != nil {
+				t.Fatal("more than one root span at the initiator")
+			}
+			root = ev
+		} else if ev.Stage != "" && ev.Hop == 0 && ev.At == "" && stages[ev.Stage] == nil {
+			// Stage spans carry no hop/peer attribution; the initiator's
+			// own selection-hop spans (it executes the first hop locally)
+			// do.
+			stages[ev.Stage] = ev
+		}
+	}
+	if root == nil {
+		t.Fatal("initiator emitted no root span")
+	}
+	if !root.OK || root.Session == "" || root.Req != 1 {
+		t.Fatalf("root span outcome wrong: %+v", root)
+	}
+	for _, want := range []string{obs.StageDiscovery, obs.StageCompose, obs.StageSelection, obs.StageAdmission} {
+		sp := stages[want]
+		if sp == nil {
+			t.Fatalf("initiator missing %s stage span", want)
+		}
+		if sp.Trace != root.Trace {
+			t.Errorf("%s span in trace %x, root in %x", want, sp.Trace, root.Trace)
+		}
+		if sp.Parent != root.Span {
+			t.Errorf("%s span parented under %x, want root %x", want, sp.Parent, root.Span)
+		}
+		if !sp.OK {
+			t.Errorf("%s stage span not OK: %+v", want, sp)
+		}
+		// Exact endpoint reconciliation: the stage lies inside the root.
+		if start := sp.T - sp.Duration; start < root.T-root.Duration-1e-9 || sp.T > root.T+1e-9 {
+			t.Errorf("%s span [%v, %v] outside root [%v, %v]", want, start, sp.T, root.T-root.Duration, root.T)
+		}
+	}
+
+	// Serving peers: every span they emitted joined the initiator's
+	// trace (selection hops chain across peers; reservations parent
+	// under the admission stage span).
+	sawRemoteSelection, sawReserve := false, false
+	localSpanIDs := map[uint64]bool{root.Span: true}
+	for _, sp := range stages {
+		localSpanIDs[sp.Span] = true
+	}
+	for i := 0; i < 3; i++ {
+		for _, ev := range events[i] {
+			if ev.Kind != obs.KindSpan {
+				continue
+			}
+			if ev.Trace != root.Trace {
+				t.Fatalf("peer %d span in foreign trace %x: %+v", i, ev.Trace, ev)
+			}
+			if ev.Parent == 0 {
+				t.Fatalf("peer %d span must be parented: %+v", i, ev)
+			}
+			switch ev.Stage {
+			case obs.StageSelection:
+				sawRemoteSelection = true
+			case obs.StageAdmission:
+				sawReserve = true
+				if !localSpanIDs[ev.Parent] {
+					t.Errorf("reserve span parented under unknown span %x", ev.Parent)
+				}
+			}
+		}
+	}
+	if !sawRemoteSelection {
+		t.Error("no serving peer emitted a selection hop span")
+	}
+	if !sawReserve {
+		t.Error("no serving peer emitted a reservation span")
+	}
+}
+
+// TestAggregateTracingOffMatchesOn: disabling the tracer must not
+// change the functional outcome of an aggregation (same plan shape),
+// and the untraced peer emits nothing.
+func TestAggregateTracingOffMatchesOn(t *testing.T) {
+	run := func(traced bool) *Plan {
+		var tr *obs.Tracer
+		if traced {
+			begin := time.Now()
+			tr = obs.NewTracer(&bytes.Buffer{}, func() float64 { return time.Since(begin).Seconds() })
+		}
+		boot, err := Start(Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer boot.Close()
+		user, err := Start(Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer user.Close()
+		if err := user.Join(boot.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := boot.Provide(inst("source#0", "source", "RAW", "MPEG", 10, 40)); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := user.Aggregate([]service.Name{"source"}, userQoS, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	on, off := run(true), run(false)
+	if len(on.Peers) != len(off.Peers) || on.Instances[0] != off.Instances[0] || on.Cost != off.Cost {
+		t.Fatalf("tracing changed the aggregation outcome:\non:  %+v\noff: %+v", on, off)
+	}
+}
+
+// TestTraceSampleGatesSpans: TraceSample 0 falls back to the default of
+// 1 (the Tracer itself is the opt-in), out-of-range values are rejected,
+// and an infinitesimal fraction keeps every span — local and remote —
+// out of the stream while the decision events still flow.
+func TestTraceSampleGatesSpans(t *testing.T) {
+	if err := (Config{TraceSample: 1.5}).Validate(); err == nil {
+		t.Fatal("TraceSample 1.5 accepted")
+	}
+	if err := (Config{TraceSample: -0.1}).Validate(); err == nil {
+		t.Fatal("TraceSample -0.1 accepted")
+	}
+
+	boot, err := Start(Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { boot.Close() })
+	if err := boot.Provide(inst("source#0", "source", "RAW", "MPEG", 10, 40)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	begin := time.Now()
+	tr := obs.NewTracer(&buf, func() float64 { return time.Since(begin).Seconds() })
+	user, err := Start(Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100,
+		Tracer: tr, TraceSample: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { user.Close() })
+	if err := user.Join(boot.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.Aggregate([]service.Name{"source"}, userQoS, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawAdmit := false
+	for _, ev := range events {
+		if ev.Kind == obs.KindSpan {
+			t.Fatalf("unsampled request emitted a span: %+v", ev)
+		}
+		if ev.Kind == obs.KindAdmit {
+			sawAdmit = true
+		}
+	}
+	if !sawAdmit {
+		t.Fatal("decision stream missing with sampling off")
+	}
+}
+
+// TestUDPTraceEvents pins the transport-level trace events: a dropped
+// first transmission surfaces as a retransmit event carrying the
+// message's trace context, and the duplicate delivery it causes
+// surfaces as an (unparented) dedup-replay event at the server.
+func TestUDPTraceEvents(t *testing.T) {
+	var sbuf bytes.Buffer
+	sBegin := time.Now()
+	str := obs.NewTracer(&sbuf, func() float64 { return time.Since(sBegin).Seconds() })
+	server, err := Start(Config{Listen: "127.0.0.1:0", Network: "udp",
+		CPU: 10, Memory: 10, Tracer: str})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+
+	var cbuf bytes.Buffer
+	cBegin := time.Now()
+	ctr := obs.NewTracer(&cbuf, func() float64 { return time.Since(cBegin).Seconds() })
+	// Drop the very first data packet (forcing a retransmit), duplicate
+	// everything after it (forcing a server-side dedup replay).
+	filter := &countingFilter{decide: func(seen, size int) PacketDecision {
+		if seen == 0 {
+			return PacketDecision{Drop: true}
+		}
+		return PacketDecision{Duplicate: true}
+	}}
+	tr := &UDPTransport{tracer: ctr}
+	tr.cfg = WireConfig{AckTimeout: 10 * time.Millisecond, PacketFilter: filter}
+	tr.cfg.fillDefaults()
+
+	resp, err := rpcWith(tr, wire.NewBinary(), nil, server.Addr(),
+		request{Type: msgProbe, TraceID: 42, SpanID: 7}, 2*time.Second)
+	if err != nil || !resp.OK {
+		t.Fatalf("probe: %v %+v", err, resp)
+	}
+
+	if err := ctr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cevs, err := obs.ReadEvents(&cbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retransmits int
+	for _, ev := range cevs {
+		if ev.Kind != obs.KindRetransmit {
+			continue
+		}
+		retransmits++
+		if ev.Trace != 42 || ev.Span != 7 {
+			t.Fatalf("retransmit lost the trace context: %+v", ev)
+		}
+		if ev.Peer != server.Addr() || ev.Attempt < 1 {
+			t.Fatalf("retransmit attribution wrong: %+v", ev)
+		}
+	}
+	if retransmits == 0 {
+		t.Fatal("dropped first packet produced no retransmit event")
+	}
+
+	// The duplicate delivery reaches the server's dedup cache.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := str.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		sevs, err := obs.ReadEvents(bytes.NewReader(sbuf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, ev := range sevs {
+			if ev.Kind == obs.KindDupReplay && ev.Peer != "" && ev.Trace == 0 {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate delivery produced no dedup-replay event")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

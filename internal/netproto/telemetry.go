@@ -49,7 +49,13 @@ type peerTele struct {
 	rpcSent    map[string]*obs.Counter // rpc.<type>.sent
 	rpcFailed  map[string]*obs.Counter // rpc.<type>.failed
 	rpcRetried map[string]*obs.Counter // rpc.<type>.retried
-	rpcLatency *obs.Histogram          // rpc.latency_seconds
+	// rpcLatency is log-bucketed (obs.LatencyHist) rather than a
+	// fixed-bounds Histogram, so /metrics and qsastat can report
+	// p50/p99/p999 without pre-chosen bucket bounds.
+	rpcLatency *obs.LatencyHist // rpc.latency_seconds
+
+	stageLat map[string]*obs.LatencyHist // agg.stage_seconds.<stage>
+	aggLat   *obs.LatencyHist            // agg.latency_seconds
 
 	probeHits, probeMisses *obs.Counter // probe.cache_hits / probe.cache_misses
 	admitOK, admitRejected *obs.Counter // reserve.admitted / reserve.rejected
@@ -67,7 +73,8 @@ func newPeerTele(reg *obs.Registry) *peerTele {
 		rpcSent:       make(map[string]*obs.Counter, len(msgTypes)),
 		rpcFailed:     make(map[string]*obs.Counter, len(msgTypes)),
 		rpcRetried:    make(map[string]*obs.Counter, len(msgTypes)),
-		rpcLatency:    reg.Histogram("rpc.latency_seconds", obs.DefLatencyBuckets),
+		rpcLatency:    reg.Latency("rpc.latency_seconds"),
+		aggLat:        reg.Latency("agg.latency_seconds"),
 		probeHits:     reg.Counter("probe.cache_hits"),
 		probeMisses:   reg.Counter("probe.cache_misses"),
 		admitOK:       reg.Counter("reserve.admitted"),
@@ -81,7 +88,29 @@ func newPeerTele(reg *obs.Registry) *peerTele {
 		t.rpcFailed[m] = reg.Counter("rpc." + m + ".failed")
 		t.rpcRetried[m] = reg.Counter("rpc." + m + ".retried")
 	}
+	t.stageLat = map[string]*obs.LatencyHist{
+		obs.StageDiscovery: reg.Latency("agg.stage_seconds." + obs.StageDiscovery),
+		obs.StageCompose:   reg.Latency("agg.stage_seconds." + obs.StageCompose),
+		obs.StageSelection: reg.Latency("agg.stage_seconds." + obs.StageSelection),
+		obs.StageAdmission: reg.Latency("agg.stage_seconds." + obs.StageAdmission),
+	}
 	return t
+}
+
+// stage records the wall time one aggregation stage took on this peer.
+func (t *peerTele) stage(name string, seconds float64) {
+	if t == nil {
+		return
+	}
+	t.stageLat[name].Observe(seconds)
+}
+
+// aggregated records one whole Aggregate call's wall time.
+func (t *peerTele) aggregated(seconds float64) {
+	if t == nil {
+		return
+	}
+	t.aggLat.Observe(seconds)
 }
 
 // wireTele is the wire plane's instrument bundle: message-level bytes

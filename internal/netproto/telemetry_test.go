@@ -132,15 +132,17 @@ func TestTelemetryChaosAttribution(t *testing.T) {
 	if got := vals["reserve.admitted"]; got == 0 && okCount > 0 {
 		t.Error("admitted sessions but reserve.admitted is zero")
 	}
-	var hist []obs.HistogramValue = snap.Histograms
 	found := false
-	for _, h := range hist {
-		if h.Name == "rpc.latency_seconds" && h.Count > 0 {
+	for _, l := range snap.Latencies {
+		if l.Name == "rpc.latency_seconds" && l.Count > 0 {
 			found = true
+			if p99 := l.Quantile(0.99); p99 <= 0 {
+				t.Errorf("rpc.latency_seconds p99 = %v, want > 0", p99)
+			}
 		}
 	}
 	if !found {
-		t.Error("rpc.latency_seconds histogram recorded nothing")
+		t.Error("rpc.latency_seconds latency histogram recorded nothing")
 	}
 	t.Logf("chaos telemetry: %d ok, %d failed, %d events, %d dials (%d failed)",
 		okCount, failCount, len(events), vals["transport.dials"], vals["transport.dial_failures"])

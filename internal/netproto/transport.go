@@ -88,7 +88,8 @@ func (p *Peer) rpcRetry(addr string, req request, timeout time.Duration) (*respo
 		}
 		p.tele.retried(req.Type)
 		if tr := p.cfg.Tracer; tr != nil {
-			tr.Emit(obs.Event{Kind: obs.KindRetry, RPC: req.Type, Peer: addr, Attempt: attempt})
+			tr.Emit(obs.Event{Kind: obs.KindRetry, RPC: req.Type, Peer: addr, Attempt: attempt,
+				Trace: req.TraceID, Span: req.SpanID})
 		}
 		t := time.NewTimer(p.cfg.Retry.backoff(p.addr, addr, attempt))
 		select {

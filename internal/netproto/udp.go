@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/internal/xrand"
 )
@@ -126,6 +127,9 @@ var nextUDPMsgID atomic.Uint64
 type UDPTransport struct {
 	cfg  WireConfig
 	tele *wireTele
+	// tracer, when set, turns retransmissions into trace events stamped
+	// with the trace context the message carried (see traceCarrier).
+	tracer *obs.Tracer
 }
 
 // NewUDPTransport returns a UDP transport with cfg (zero fields take
@@ -286,12 +290,28 @@ type udpClientConn struct {
 	remote   string
 	deadline time.Time
 
+	// trace and span are the causal context of the request this conn
+	// carries (zero for untraced traffic), handed down by rpcWith via
+	// CarryTrace so retransmit events land inside the request's tree.
+	trace, span uint64
+
 	wbuf *wire.Buf // request message
 	resp *wire.Buf // reassembled response message (owned via asm)
 	rlen int
 	rpos int
 	sent bool
 	err  error
+}
+
+// traceCarrier is implemented by conns that can attribute transport
+// events (retransmits) to the causal trace of the message they carry.
+type traceCarrier interface {
+	CarryTrace(trace, span uint64)
+}
+
+// CarryTrace implements traceCarrier.
+func (c *udpClientConn) CarryTrace(trace, span uint64) {
+	c.trace, c.span = trace, span
 }
 
 func (c *udpClientConn) Write(b []byte) (int, error) {
@@ -388,6 +408,10 @@ func (c *udpClientConn) exchange() error {
 			if canRetransmit {
 				attempt++
 				tele.retransmit1()
+				if tr := c.t.tracer; tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindRetransmit, Peer: c.remote,
+						Attempt: attempt, Trace: c.trace, Span: c.span})
+				}
 				if err := sendFragments(cfg, tele, send, c.remote, wire.PktData, msgID, msg, scratch); err != nil {
 					return err
 				}
@@ -462,6 +486,11 @@ type udpListener struct {
 	sock *net.UDPConn
 	cfg  WireConfig
 	tele *wireTele
+	// tracer, when set, records duplicate suppressions as trace events.
+	// They are unparented: the packet layer suppresses a duplicate by
+	// (client address, message ID) without ever decoding the request,
+	// so no trace context is available — Peer carries the client addr.
+	tracer *obs.Tracer
 
 	acceptCh chan *udpServerConn
 	done     chan struct{}
@@ -475,7 +504,7 @@ type udpListener struct {
 }
 
 // listenUDP opens the reliable-datagram listener on addr.
-func listenUDP(addr string, cfg WireConfig, tele *wireTele) (*udpListener, error) {
+func listenUDP(addr string, cfg WireConfig, tele *wireTele, tracer *obs.Tracer) (*udpListener, error) {
 	cfg.fillDefaults()
 	laddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -489,6 +518,7 @@ func listenUDP(addr string, cfg WireConfig, tele *wireTele) (*udpListener, error
 		sock:     sock,
 		cfg:      cfg,
 		tele:     tele,
+		tracer:   tracer,
 		acceptCh: make(chan *udpServerConn, 64),
 		done:     make(chan struct{}),
 		asm:      make(map[dedupKey]*reassembly),
@@ -577,6 +607,9 @@ func (l *udpListener) handlePacket(raddr *net.UDPAddr, pkt *wire.Packet) bool {
 		resp := ent.resp
 		l.mu.Unlock()
 		l.tele.dupDropped1()
+		if l.tracer != nil {
+			l.tracer.Emit(obs.Event{Kind: obs.KindDupReplay, Peer: dst})
+		}
 		scratch := wire.GetBuf(l.cfg.MTU)
 		sendAck(&l.cfg, send, dst, pkt.MsgID, 0, scratch)
 		if resp != nil {

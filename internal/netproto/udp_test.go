@@ -404,7 +404,7 @@ func TestUDPDelayedDuplicates(t *testing.T) {
 // TestUDPListenerClose pins listener shutdown: Accept unblocks with
 // net.ErrClosed and a second Close is a no-op.
 func TestUDPListenerClose(t *testing.T) {
-	l, err := listenUDP("127.0.0.1:0", WireConfig{}, nil)
+	l, err := listenUDP("127.0.0.1:0", WireConfig{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -683,7 +683,7 @@ func TestUDPConnPlumbing(t *testing.T) {
 		t.Fatal("read before request write must fail")
 	}
 
-	l, err := listenUDP("127.0.0.1:0", WireConfig{}, nil)
+	l, err := listenUDP("127.0.0.1:0", WireConfig{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

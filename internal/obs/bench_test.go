@@ -27,16 +27,22 @@ func BenchmarkTelemetryDisabledCounter(b *testing.B) {
 func BenchmarkTelemetryEnabledCounter(b *testing.B) {
 	r := NewRegistry()
 	c := r.Counter("bench.counter")
-	h := r.Histogram("bench.hist", DefLatencyBuckets)
+	h, err := r.Histogram("bench.hist", DefLatencyBuckets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := r.Latency("bench.lat")
 	if allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		h.Observe(0.003)
+		l.Observe(0.003)
 	}); allocs != 0 {
 		b.Fatalf("enabled counter/histogram allocated %v per event, want 0", allocs)
 	}
 	for i := 0; i < b.N; i++ {
 		c.Inc()
 		h.Observe(0.003)
+		l.Observe(0.003)
 	}
 }
 
@@ -49,5 +55,21 @@ func BenchmarkTelemetryDisabledTracer(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		tr.Emit(Event{Kind: KindReserve, Req: 1, Peer: "p", OK: true})
+	}
+}
+
+func BenchmarkTelemetryDisabledSpans(b *testing.B) {
+	var s *Spans
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := s.Root(1)
+		child := sp.Child()
+		child.End(Event{Stage: StageCompose})
+		sp.End(Event{OK: true})
+	}); allocs != 0 {
+		b.Fatalf("disabled spans allocated %v per span, want 0", allocs)
+	}
+	for i := 0; i < b.N; i++ {
+		sp := s.Root(uint64(i))
+		sp.End(Event{OK: true})
 	}
 }

@@ -1,14 +1,17 @@
 // Package obs is the repo's telemetry plane: a race-safe metrics
-// registry (atomic counters, gauges, bounded latency histograms with
-// deterministically ordered snapshots) and a structured decision-trace
-// stream (JSON-lines span events covering compose → hop-by-hop selection
-// → reserve/retry → session end).
+// registry (atomic counters, gauges, bounded histograms, and
+// log-bucketed latency quantile histograms with deterministically
+// ordered snapshots), a structured decision-trace stream (JSON-lines
+// events covering compose → hop-by-hop selection → reserve/retry →
+// session end), and a causal span layer (span.go) that places timed
+// segments of each request in a per-request tree.
 //
-// The package is deliberately zero-dependency (standard library only,
-// matching go.mod) and deterministic: it never reads the wall clock —
-// every event timestamp comes from an injectable Clock, so simulator
-// runs with the same seed emit byte-identical streams, while the network
-// prototype injects real time from cmd/qsapeer.
+// The package is deliberately dependency-free (standard library plus
+// the in-repo xrand mixer for span IDs) and deterministic: it never
+// reads the wall clock — every event timestamp comes from an injectable
+// Clock, so simulator runs with the same seed emit byte-identical
+// streams, while the network prototype injects real time from
+// cmd/qsapeer.
 //
 // Everything is nil-safe: a nil *Counter, *Gauge, *Histogram, *Tracer or
 // *Registry is a valid disabled sink whose methods return immediately
@@ -103,17 +106,23 @@ var DefLatencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
-// newHistogram copies bounds, keeping only the strictly increasing
-// prefix order (duplicates and descents are dropped so bucket search
-// stays well-defined).
-func newHistogram(bounds []float64) *Histogram {
+// newHistogram copies bounds after validating them: a NaN bound or a
+// non-increasing pair would silently misbucket every later observation
+// (sort.SearchFloat64s requires sorted input), so both are rejected
+// with an error instead of being repaired behind the caller's back.
+func newHistogram(bounds []float64) (*Histogram, error) {
 	clean := make([]float64, 0, len(bounds))
-	for _, b := range bounds {
-		if len(clean) == 0 || b > clean[len(clean)-1] {
-			clean = append(clean, b)
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("obs: histogram bound %d is NaN", i)
 		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram bounds not strictly increasing: bound %d (%v) ≤ bound %d (%v)",
+				i, b, i-1, bounds[i-1])
+		}
+		clean = append(clean, b)
 	}
-	return &Histogram{bounds: clean, counts: make([]atomic.Uint64, len(clean))}
+	return &Histogram{bounds: clean, counts: make([]atomic.Uint64, len(clean))}, nil
 }
 
 // Observe records one value.
@@ -161,6 +170,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	lats     map[string]*LatencyHist
 }
 
 // NewRegistry returns an empty registry.
@@ -169,6 +179,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		lats:     make(map[string]*LatencyHist),
 	}
 }
 
@@ -204,17 +215,40 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use (later calls reuse the existing instrument
-// regardless of bounds).
-func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+// regardless of bounds). Bounds must be strictly increasing and
+// NaN-free; invalid bounds are an error, not a silently repaired
+// instrument. A nil registry returns (nil, nil): the disabled sink.
+func (r *Registry) Histogram(name string, bounds []float64) (*Histogram, error) {
 	if r == nil {
-		return nil
+		return nil, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = newHistogram(bounds)
+		var err error
+		h, err = newHistogram(bounds)
+		if err != nil {
+			return nil, err
+		}
 		r.hists[name] = h
+	}
+	return h, nil
+}
+
+// Latency returns the named log-bucketed latency histogram, creating it
+// on first use. Unlike Histogram it needs no bounds — the log bucketing
+// covers the whole latency range — so it cannot fail.
+func (r *Registry) Latency(name string) *LatencyHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.lats[name]
+	if !ok {
+		h = NewLatencyHist()
+		r.lats[name] = h
 	}
 	return h
 }
@@ -248,6 +282,49 @@ type HistogramValue struct {
 	Over    uint64   `json:"over,omitempty"`
 }
 
+// Quantile estimates the q-quantile from the bucket counts by linear
+// interpolation inside the covering bucket (the first bucket's lower
+// edge is 0 — these histograms hold non-negative latencies).
+// Conventions: an empty histogram reports 0; q ≤ 0 reports the lower
+// edge of the first occupied bucket; q ≥ 1 (or a rank landing in the
+// unbounded overflow region) reports the last bound — the histogram
+// cannot see past it.
+func (h HistogramValue) Quantile(q float64) float64 {
+	// lint:allow float-eq NaN self-inequality is the standard IEEE-754 NaN test
+	if h.Count == 0 || q != q {
+		return 0
+	}
+	lastBound := 0.0
+	if n := len(h.Buckets); n > 0 {
+		lastBound = h.Buckets[n-1].Le
+	}
+	if q >= 1 {
+		if h.Over > 0 {
+			return lastBound
+		}
+		for i := len(h.Buckets) - 1; i >= 0; i-- {
+			if h.Buckets[i].Count > 0 {
+				return h.Buckets[i].Le
+			}
+		}
+		return 0
+	}
+	rank := q * float64(h.Count)
+	lo, cum := 0.0, 0.0
+	for _, b := range h.Buckets {
+		if b.Count > 0 && cum+float64(b.Count) >= rank {
+			if q <= 0 {
+				return lo
+			}
+			frac := (rank - cum) / float64(b.Count)
+			return lo + frac*(b.Le-lo)
+		}
+		cum += float64(b.Count)
+		lo = b.Le
+	}
+	return lastBound // rank falls among the Over observations
+}
+
 // Snapshot is a point-in-time copy of every instrument, each section
 // sorted by name — the ordering is deterministic so snapshots diff
 // cleanly across runs.
@@ -255,6 +332,7 @@ type Snapshot struct {
 	Counters   []CounterValue   `json:"counters,omitempty"`
 	Gauges     []GaugeValue     `json:"gauges,omitempty"`
 	Histograms []HistogramValue `json:"histograms,omitempty"`
+	Latencies  []LatencyValue   `json:"latencies,omitempty"`
 }
 
 // Snapshot captures the current state of the registry (empty for nil).
@@ -278,9 +356,13 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hv)
 	}
+	for name, h := range r.lats {
+		s.Latencies = append(s.Latencies, h.SnapshotValue(name))
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i].Name < s.Latencies[j].Name })
 	return s
 }
 
@@ -312,6 +394,15 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "  le +inf %d\n", h.Over); err != nil {
 				return err
 			}
+		}
+	}
+	for _, l := range s.Latencies {
+		if _, err := fmt.Fprintf(w, "latency %s count=%d sum=%s p50=%s p99=%s p999=%s\n",
+			l.Name, l.Count, strconv.FormatFloat(l.Sum, 'g', -1, 64),
+			strconv.FormatFloat(l.Quantile(0.50), 'g', 6, 64),
+			strconv.FormatFloat(l.Quantile(0.99), 'g', 6, 64),
+			strconv.FormatFloat(l.Quantile(0.999), 'g', 6, 64)); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -24,8 +25,17 @@ func TestNilInstrumentsNoOp(t *testing.T) {
 	if h.Count() != 0 || h.Sum() != 0 {
 		t.Fatal("nil histogram must read 0")
 	}
+	var lh *LatencyHist
+	lh.Observe(1)
+	if lh.Count() != 0 || lh.Sum() != 0 {
+		t.Fatal("nil latency histogram must read 0")
+	}
 	var r *Registry
-	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+	nh, err := r.Histogram("x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || nh != nil || r.Latency("x") != nil {
 		t.Fatal("nil registry must hand out nil instruments")
 	}
 	if s := r.Snapshot(); len(s.Counters) != 0 {
@@ -41,7 +51,9 @@ func TestRegistryReuseAndSnapshotOrder(t *testing.T) {
 	r.Counter("b").Add(2)
 	r.Counter("a").Inc()
 	r.Gauge("z").Set(-5)
-	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+	mustHist(t, r, "h", []float64{1, 2}).Observe(1.5)
+	r.Latency("lat.b").Observe(0.25)
+	r.Latency("lat.a").Observe(0.5)
 
 	s := r.Snapshot()
 	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "b" {
@@ -56,12 +68,52 @@ func TestRegistryReuseAndSnapshotOrder(t *testing.T) {
 	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
 		t.Fatalf("wrong histograms: %+v", s.Histograms)
 	}
+	if len(s.Latencies) != 2 || s.Latencies[0].Name != "lat.a" || s.Latencies[1].Name != "lat.b" {
+		t.Fatalf("latency section not sorted: %+v", s.Latencies)
+	}
+	if r.Latency("lat.a") != r.Latency("lat.a") {
+		t.Fatal("same name must return the same latency histogram")
+	}
+}
+
+func mustHist(t *testing.T, r *Registry, name string, bounds []float64) *Histogram {
+	t.Helper()
+	h, err := r.Histogram(name, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{1, 2, 2},          // duplicate
+		{1, 2, 1.5, 4},     // descent
+		{math.NaN()},       // NaN alone
+		{1, math.NaN(), 3}, // NaN inside
+		{math.Inf(1), 1},   // descent from +inf
+	} {
+		if _, err := newHistogram(bounds); err == nil {
+			t.Errorf("newHistogram(%v): want error, got nil", bounds)
+		}
+		r := NewRegistry()
+		if _, err := r.Histogram("h", bounds); err == nil {
+			t.Errorf("Registry.Histogram(%v): want error, got nil", bounds)
+		}
+	}
+	// A later call with bad bounds still reuses an existing valid instrument.
+	r := NewRegistry()
+	h := mustHist(t, r, "h", []float64{1, 2})
+	again, err := r.Histogram("h", []float64{2, 1})
+	if err != nil || again != h {
+		t.Fatalf("existing instrument must be reused: %v %v", again, err)
+	}
 }
 
 func TestHistogramBuckets(t *testing.T) {
-	h := newHistogram([]float64{1, 2, 2, 1.5, 4}) // sanitized to 1, 2, 4
-	if len(h.bounds) != 3 {
-		t.Fatalf("bounds not sanitized: %v", h.bounds)
+	h, err := newHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
 	}
 	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 9} {
 		h.Observe(v)
@@ -93,7 +145,9 @@ func TestConcurrentInstruments(t *testing.T) {
 			for j := 0; j < 1000; j++ {
 				r.Counter("c").Inc()
 				r.Gauge("g").Add(1)
-				r.Histogram("h", DefLatencyBuckets).Observe(0.003)
+				h, _ := r.Histogram("h", DefLatencyBuckets)
+				h.Observe(0.003)
+				r.Latency("l").Observe(0.003)
 			}
 		}()
 	}
@@ -104,12 +158,15 @@ func TestConcurrentInstruments(t *testing.T) {
 	if got := r.Gauge("g").Value(); got != 8000 {
 		t.Fatalf("gauge = %d, want 8000", got)
 	}
-	h := r.Histogram("h", nil)
+	h := mustHist(t, r, "h", nil)
 	if h.Count() != 8000 {
 		t.Fatalf("histogram count = %d, want 8000", h.Count())
 	}
 	if h.Sum() < 23.9 || h.Sum() > 24.1 {
 		t.Fatalf("histogram sum = %v, want ~24", h.Sum())
+	}
+	if l := r.Latency("l"); l.Count() != 8000 {
+		t.Fatalf("latency count = %d, want 8000", l.Count())
 	}
 }
 
@@ -117,9 +174,12 @@ func TestSnapshotWriteText(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("rpc.sent.probe").Add(3)
 	r.Gauge("sessions.active").Set(2)
-	h := r.Histogram("lat", []float64{0.01, 0.1})
+	h := mustHist(t, r, "lat", []float64{0.01, 0.1})
 	h.Observe(0.005)
 	h.Observe(5)
+	l := r.Latency("rpc.lat")
+	l.Observe(0.001)
+	l.Observe(0.002)
 
 	var sb strings.Builder
 	if err := r.Snapshot().WriteText(&sb); err != nil {
@@ -132,6 +192,9 @@ func TestSnapshotWriteText(t *testing.T) {
 		"histogram lat count=2",
 		"  le 0.01 1\n",
 		"  le +inf 1\n",
+		"latency rpc.lat count=2",
+		"p50=",
+		"p999=",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text snapshot missing %q:\n%s", want, out)

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpanStageRequest labels the root-span row of the SLO latency report:
+// the whole request, admission to terminal outcome.
+const SpanStageRequest = "request"
+
+// SpanNode is one reconstructed span of a causal trace tree. Event is
+// the closing KindSpan record; the span ran [Start(), End()] on the
+// stream's clock (virtual minutes in the simulator, wall seconds since
+// process start in the prototype).
+type SpanNode struct {
+	Event    Event
+	Children []*SpanNode // in start-time order, stream order on ties
+}
+
+// Start returns the span's start time (T - Duration by construction).
+func (n *SpanNode) Start() float64 { return n.Event.T - n.Event.Duration }
+
+// End returns the span's end time.
+func (n *SpanNode) End() float64 { return n.Event.T }
+
+// SelfTime is the span's duration not covered by any child span — the
+// time the request spent *at* this node rather than below it. Clamped
+// at zero: children measured on a remote peer's clock can nominally
+// exceed the parent.
+func (n *SpanNode) SelfTime() float64 {
+	d := n.Event.Duration
+	for _, c := range n.Children {
+		d -= c.Event.Duration
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// SpanTree is one traced request: the root span and everything that
+// parented under it, across however many peers the trace crossed.
+type SpanTree struct {
+	Trace   uint64
+	Req     uint64
+	Root    *SpanNode
+	Spans   int         // spans in the tree, root included
+	Orphans []*SpanNode // spans whose parent never appeared (partial stream)
+}
+
+// Outcome classifies the root span: OutcomeSuccess for an OK root, the
+// terminal failure stage otherwise, OutcomePending when the root
+// carries neither.
+func (t *SpanTree) Outcome() string {
+	switch {
+	case t.Root == nil:
+		return OutcomePending
+	case t.Root.Event.OK:
+		return OutcomeSuccess
+	case t.Root.Event.Stage != "":
+		return t.Root.Event.Stage
+	default:
+		return OutcomePending
+	}
+}
+
+// CriticalPath is the chain of spans that bounds the request's end:
+// from the root, repeatedly descend into the child that ended last.
+// For the serial aggregation pipeline this walks request → terminal
+// stage → deepest remote hop; the returned slice starts at the root.
+func (t *SpanTree) CriticalPath() []*SpanNode {
+	if t.Root == nil {
+		return nil
+	}
+	path := []*SpanNode{t.Root}
+	for n := t.Root; len(n.Children) > 0; {
+		last := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.End() >= last.End() {
+				last = c
+			}
+		}
+		path = append(path, last)
+		n = last
+	}
+	return path
+}
+
+// StageLatency is the duration distribution of one pipeline stage
+// across every traced request, quantile-queryable via LatencyValue.
+type StageLatency struct {
+	Stage string
+	Value LatencyValue
+}
+
+// SpanReport is the aggregate span analysis of one event stream: the
+// reconstructed per-request trees, the root-outcome tally (the span
+// plane's mirror of RequestStats), and the per-stage SLO latency
+// distributions.
+type SpanReport struct {
+	Traces  []*SpanTree // by Req ascending
+	Spans   int         // span events seen
+	Orphans int         // spans not attached to any tree's root
+	ByStage []StageCount
+	Latency []StageLatency // canonical order: request, then pipeline stages
+}
+
+// Trace returns the tree of request id, or nil.
+func (r *SpanReport) Trace(id uint64) *SpanTree {
+	for _, t := range r.Traces {
+		if t.Req == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Count returns the number of traced requests with the given outcome.
+func (r *SpanReport) Count(stage string) int {
+	for _, sc := range r.ByStage {
+		if sc.Stage == stage {
+			return sc.N
+		}
+	}
+	return 0
+}
+
+// latencyOrder is the SLO report's presentation order.
+var latencyOrder = []string{
+	SpanStageRequest, StageDiscovery, StageCompose, StageSelection,
+	StageAdmission, StageRecovery,
+}
+
+// AnalyzeSpans reconstructs causal trace trees from the KindSpan events
+// of a stream. Span IDs must be unique within a trace and each trace
+// must close exactly one root (Parent == 0); spans whose parent never
+// appears (a truncated or per-peer partial stream) are kept as orphans
+// rather than discarded. The per-stage latency distributions cover the
+// initiator's pipeline-stage spans — remote hop legs (spans stamped
+// with an At address) attribute time to peers, and counting them again
+// would double-book the selection stage they serve.
+func AnalyzeSpans(events []Event) (*SpanReport, error) {
+	rep := &SpanReport{}
+	type traceState struct {
+		tree  *SpanTree
+		nodes map[uint64]*SpanNode // by span ID
+		order []*SpanNode          // stream order
+	}
+	states := make(map[uint64]*traceState)
+	var traceOrder []uint64
+
+	for i, ev := range events {
+		if ev.Kind != KindSpan {
+			continue
+		}
+		rep.Spans++
+		if ev.Trace == 0 || ev.Span == 0 {
+			return nil, fmt.Errorf("obs: event %d: span without trace/span ID", i+1)
+		}
+		st, ok := states[ev.Trace]
+		if !ok {
+			st = &traceState{tree: &SpanTree{Trace: ev.Trace}, nodes: make(map[uint64]*SpanNode)}
+			states[ev.Trace] = st
+			traceOrder = append(traceOrder, ev.Trace)
+		}
+		if _, dup := st.nodes[ev.Span]; dup {
+			return nil, fmt.Errorf("obs: event %d: duplicate span %x in trace %x", i+1, ev.Span, ev.Trace)
+		}
+		n := &SpanNode{Event: ev}
+		st.nodes[ev.Span] = n
+		st.order = append(st.order, n)
+		if ev.Req != 0 && st.tree.Req == 0 {
+			st.tree.Req = ev.Req
+		}
+		if ev.Parent == 0 {
+			if st.tree.Root != nil {
+				return nil, fmt.Errorf("obs: event %d: second root span in trace %x", i+1, ev.Trace)
+			}
+			st.tree.Root = n
+		}
+	}
+
+	// Attach children. Spans close child-before-parent (a child's End
+	// precedes its parent's), so parents resolve only after the whole
+	// stream is indexed.
+	for _, id := range traceOrder {
+		st := states[id]
+		for _, n := range st.order {
+			if n.Event.Parent == 0 {
+				continue
+			}
+			if p, ok := st.nodes[n.Event.Parent]; ok {
+				p.Children = append(p.Children, n)
+			} else {
+				st.tree.Orphans = append(st.tree.Orphans, n)
+				rep.Orphans++
+			}
+		}
+		for _, n := range st.order {
+			sort.SliceStable(n.Children, func(i, j int) bool {
+				return n.Children[i].Start() < n.Children[j].Start()
+			})
+		}
+		st.tree.Spans = len(st.order)
+		rep.Traces = append(rep.Traces, st.tree)
+	}
+	sort.Slice(rep.Traces, func(i, j int) bool { return rep.Traces[i].Req < rep.Traces[j].Req })
+
+	// Outcome tally, mirroring Analyze's stage order.
+	counts := make(map[string]int)
+	for _, t := range rep.Traces {
+		counts[t.Outcome()]++
+	}
+	for _, stage := range stageOrder {
+		if n := counts[stage]; n > 0 {
+			rep.ByStage = append(rep.ByStage, StageCount{Stage: stage, N: n})
+			delete(counts, stage)
+		}
+	}
+	var rest []string
+	for stage := range counts {
+		rest = append(rest, stage)
+	}
+	sort.Strings(rest)
+	for _, stage := range rest {
+		rep.ByStage = append(rep.ByStage, StageCount{Stage: stage, N: counts[stage]})
+	}
+
+	// SLO latency distributions: the root span under "request", the
+	// initiator's stage spans under their stage name.
+	hists := make(map[string]*LatencyHist)
+	observe := func(stage string, d float64) {
+		h, ok := hists[stage]
+		if !ok {
+			h = NewLatencyHist()
+			hists[stage] = h
+		}
+		h.Observe(d)
+	}
+	for _, t := range rep.Traces {
+		if t.Root != nil {
+			observe(SpanStageRequest, t.Root.Event.Duration)
+		}
+		for _, n := range states[t.Trace].order {
+			if n == t.Root || n.Event.Stage == "" || n.Event.At != "" {
+				continue
+			}
+			observe(n.Event.Stage, n.Event.Duration)
+		}
+	}
+	for _, stage := range latencyOrder {
+		if h, ok := hists[stage]; ok {
+			rep.Latency = append(rep.Latency, StageLatency{Stage: stage, Value: h.SnapshotValue(stage)})
+			delete(hists, stage)
+		}
+	}
+	rest = rest[:0]
+	for stage := range hists {
+		rest = append(rest, stage)
+	}
+	sort.Strings(rest)
+	for _, stage := range rest {
+		rep.Latency = append(rep.Latency, StageLatency{Stage: stage, Value: hists[stage].SnapshotValue(stage)})
+	}
+	return rep, nil
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// span builds a KindSpan event closing at t with the given duration.
+func span(seq, req, trace, id, parent uint64, t, dur float64, stage string) Event {
+	return Event{Seq: seq, T: t, Kind: KindSpan, Req: req,
+		Trace: trace, Span: id, Parent: parent, Duration: dur, Stage: stage}
+}
+
+func TestAnalyzeSpansTree(t *testing.T) {
+	// Request 1: root with three sequential stage children, one of which
+	// (selection) has a remote hop leg underneath; success.
+	// Request 2: a discovery failure, root only.
+	events := []Event{
+		span(1, 1, 0xa, 10, 2, 3.0, 0.5, StageDiscovery),
+		span(2, 1, 0xa, 11, 2, 4.0, 1.0, StageCompose),
+		{Seq: 3, T: 4.8, Kind: KindSpan, Req: 1, Trace: 0xa, Span: 13, Parent: 12,
+			Duration: 0.3, Stage: StageSelection, Hop: 1, At: "10.0.0.2:1"},
+		span(4, 1, 0xa, 12, 2, 5.0, 1.0, StageSelection),
+		func() Event {
+			ev := span(5, 1, 0xa, 2, 0, 6.0, 4.0, "")
+			ev.OK = true
+			ev.Session = "s1"
+			return ev
+		}(),
+		func() Event {
+			ev := span(6, 2, 0xb, 3, 0, 7.0, 0.25, StageDiscovery)
+			ev.Err = "no candidates"
+			return ev
+		}(),
+	}
+	rep, err := AnalyzeSpans(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans != 6 || rep.Orphans != 0 || len(rep.Traces) != 2 {
+		t.Fatalf("spans=%d orphans=%d traces=%d", rep.Spans, rep.Orphans, len(rep.Traces))
+	}
+	tr := rep.Trace(1)
+	if tr == nil || tr.Trace != 0xa || tr.Spans != 5 {
+		t.Fatalf("trace 1 malformed: %+v", tr)
+	}
+	if tr.Outcome() != OutcomeSuccess {
+		t.Fatalf("trace 1 outcome %q", tr.Outcome())
+	}
+	if got := rep.Trace(2).Outcome(); got != StageDiscovery {
+		t.Fatalf("trace 2 outcome %q", got)
+	}
+	if rep.Count(OutcomeSuccess) != 1 || rep.Count(StageDiscovery) != 1 {
+		t.Fatalf("outcome tally wrong: %+v", rep.ByStage)
+	}
+
+	// Children attach in start-time order regardless of stream order.
+	root := tr.Root
+	if len(root.Children) != 3 {
+		t.Fatalf("root has %d children", len(root.Children))
+	}
+	order := []string{StageDiscovery, StageCompose, StageSelection}
+	for i, c := range root.Children {
+		if c.Event.Stage != order[i] {
+			t.Fatalf("child %d is %q, want %q", i, c.Event.Stage, order[i])
+		}
+	}
+	sel := root.Children[2]
+	if len(sel.Children) != 1 || sel.Children[0].Event.At != "10.0.0.2:1" {
+		t.Fatalf("hop leg not attached under selection: %+v", sel.Children)
+	}
+
+	// Start/End/SelfTime arithmetic: selection ran [4,5] with a 0.3 hop
+	// leg inside, so its self time is 0.7.
+	if sel.Start() != 4.0 || sel.End() != 5.0 {
+		t.Fatalf("selection interval [%g,%g]", sel.Start(), sel.End())
+	}
+	if got := sel.SelfTime(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("selection self time %g, want 0.7", got)
+	}
+	// Root self time: 4.0 - (0.5+1.0+1.0) = 1.5 (the hop leg is the
+	// selection stage's business, not the root's).
+	if got := root.SelfTime(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("root self time %g, want 1.5", got)
+	}
+
+	// Critical path: root -> selection (ended last) -> its hop leg.
+	cp := tr.CriticalPath()
+	if len(cp) != 3 || cp[0] != root || cp[1] != sel || cp[2] != sel.Children[0] {
+		t.Fatalf("critical path wrong: %d nodes", len(cp))
+	}
+
+	// SLO rows: request row counts both roots; the hop leg (At set) must
+	// not pollute the selection stage's distribution.
+	byStage := map[string]LatencyValue{}
+	for _, sl := range rep.Latency {
+		byStage[sl.Stage] = sl.Value
+	}
+	if byStage[SpanStageRequest].Count != 2 {
+		t.Fatalf("request row count %d, want 2", byStage[SpanStageRequest].Count)
+	}
+	if byStage[StageSelection].Count != 1 {
+		t.Fatalf("selection row count %d, want 1 (hop leg excluded)", byStage[StageSelection].Count)
+	}
+	// Request 2's failure stage is stamped on its root: it books under
+	// the request row, so discovery only counts request 1's stage span.
+	if byStage[StageDiscovery].Count != 1 {
+		t.Fatalf("discovery row count %d, want 1", byStage[StageDiscovery].Count)
+	}
+	// The canonical order leads with the request row.
+	if rep.Latency[0].Stage != SpanStageRequest {
+		t.Fatalf("latency order starts with %q", rep.Latency[0].Stage)
+	}
+}
+
+func TestAnalyzeSpansOrphansAndErrors(t *testing.T) {
+	// A child whose parent never closed in the stream is an orphan, not
+	// an error: per-peer streams are legitimately partial.
+	rep, err := AnalyzeSpans([]Event{
+		span(1, 1, 0xa, 5, 99, 1.0, 0.5, StageSelection),
+		span(2, 1, 0xa, 2, 0, 2.0, 2.0, ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Orphans != 1 || len(rep.Traces[0].Orphans) != 1 {
+		t.Fatalf("orphans=%d", rep.Orphans)
+	}
+	// A rootless trace is pending, with an empty critical path.
+	rep, err = AnalyzeSpans([]Event{span(1, 1, 0xa, 5, 99, 1.0, 0.5, StageSelection)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Traces[0].Outcome(); got != OutcomePending {
+		t.Fatalf("rootless outcome %q", got)
+	}
+	if cp := rep.Traces[0].CriticalPath(); cp != nil {
+		t.Fatalf("rootless critical path has %d nodes", len(cp))
+	}
+
+	for name, evs := range map[string][]Event{
+		"missing ids":    {{Seq: 1, Kind: KindSpan}},
+		"duplicate span": {span(1, 1, 0xa, 2, 0, 1, 1, ""), span(2, 1, 0xa, 2, 0, 2, 1, "")},
+		"second root":    {span(1, 1, 0xa, 2, 0, 1, 1, ""), span(2, 1, 0xa, 3, 0, 2, 1, "")},
+	} {
+		if _, err := AnalyzeSpans(evs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Non-span events are ignored entirely.
+	rep, err = AnalyzeSpans([]Event{{Seq: 1, Kind: KindRequest, Req: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans != 0 || len(rep.Traces) != 0 {
+		t.Fatalf("non-span events leaked into the report")
+	}
+}
+
+func TestAnalyzeSpansEmitted(t *testing.T) {
+	// End-to-end through the real emit path: Spans → Tracer → ReadEvents
+	// → AnalyzeSpans reconstructs what was emitted.
+	var buf strings.Builder
+	clock := 0.0
+	tr := NewTracer(&buf, func() float64 { clock += 0.5; return clock })
+	spans := NewSpans(tr, 42)
+	root := spans.Root(7)
+	child := root.Child()
+	child.End(Event{Stage: StageCompose, OK: true})
+	root.End(Event{OK: true, Session: "s7"})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeSpans(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rep.Trace(7)
+	if tree == nil || tree.Spans != 2 || tree.Outcome() != OutcomeSuccess {
+		t.Fatalf("emitted tree malformed: %+v", tree)
+	}
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Event.Stage != StageCompose {
+		t.Fatalf("child not under root")
+	}
+}

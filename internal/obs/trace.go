@@ -42,6 +42,20 @@ const (
 	// KindFail closes a request that was never admitted, with the
 	// pipeline stage that rejected it.
 	KindFail = "fail"
+	// KindSpan closes one timed span of the causal trace: Stage names
+	// the pipeline stage (or RPC leg), Duration is its length, and
+	// Trace/Span/Parent place it in the request's causal tree. The
+	// span's start time is T - Duration by construction.
+	KindSpan = "span"
+	// KindRetransmit reports one whole-message retransmission at the
+	// reliable-UDP layer, stamped with the trace context the message
+	// carried (zero for untraced traffic).
+	KindRetransmit = "retransmit"
+	// KindDupReplay reports a server-side duplicate suppression: a
+	// retransmitted request hit the dedup cache and the cached response
+	// was replayed instead of re-executing. Unparented — the raw packet
+	// layer never decodes the request it suppresses.
+	KindDupReplay = "dupreplay"
 )
 
 // Failure stages, mirroring core.Stage plus the post-admission
@@ -52,6 +66,9 @@ const (
 	StageSelection = "selection"
 	StageAdmission = "admission"
 	StageDeparture = "departure"
+	// StageRecovery labels mid-session repair spans (the runtime
+	// recovery extension); it never appears as a failure stage.
+	StageRecovery = "recovery"
 )
 
 // Candidate is one candidate peer considered during a selection hop.
@@ -103,6 +120,14 @@ type Event struct {
 	Stage   string `json:"stage,omitempty"`
 	Err     string `json:"err,omitempty"`
 	Session string `json:"session,omitempty"`
+
+	// causal-trace context (KindSpan, and any event stamped with the
+	// span it occurred under). 64-bit IDs; 0 means "absent". Encoded as
+	// JSON numbers: Go's decoder reads integer digits exactly, so the
+	// full uint64 range round-trips.
+	Trace  uint64 `json:"trace,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // Tracer writes events as JSON lines, stamping each with the injected
@@ -124,6 +149,20 @@ func NewTracer(w io.Writer, clock Clock) *Tracer {
 	return &Tracer{bw: bw, enc: json.NewEncoder(bw), clock: clock}
 }
 
+// Now reads the tracer's clock. Span starts are captured through this
+// so that start, end, and every other event of a request sit on one
+// timeline (virtual minutes in the simulator, wall seconds since start
+// in the prototype). A nil tracer reports 0.
+// lint:coldpath span starts exist only when tracing is enabled; the bench-gated steady state never reads the clock
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	// The clock is set once at construction and never mutated, so no
+	// lock is needed; Clock implementations are safe for concurrent use.
+	return t.clock()
+}
+
 // Emit stamps and writes one event. The caller fills every field except
 // Seq and T.
 // lint:coldpath tracing is bench-gated off in the steady state; an enabled sink may allocate
@@ -133,6 +172,33 @@ func (t *Tracer) Emit(ev Event) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.emitLocked(ev)
+}
+
+// EmitSpan writes a span-closing event: T is stamped from the clock and
+// Duration is set to T - start under the same clock reading, so a
+// span's endpoints reconcile exactly with the timestamps of the events
+// around it (start == T - Duration with no skew).
+// lint:coldpath tracing is bench-gated off in the steady state; an enabled sink may allocate
+func (t *Tracer) EmitSpan(ev Event, start float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev.Seq = t.seq
+	ev.T = t.clock()
+	ev.Duration = ev.T - start
+	if t.err != nil {
+		return // sticky: keep sequencing, stop writing
+	}
+	if err := t.enc.Encode(ev); err != nil {
+		t.err = err
+	}
+}
+
+func (t *Tracer) emitLocked(ev Event) {
 	t.seq++
 	ev.Seq = t.seq
 	ev.T = t.clock()

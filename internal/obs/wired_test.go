@@ -49,7 +49,12 @@ func TestHTTPHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("requests.total").Add(7)
 	r.Gauge("sessions.active").Set(2)
-	r.Histogram("latency", []float64{0.1, 1}).Observe(0.5)
+	lh, err := r.Histogram("latency", []float64{0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh.Observe(0.5)
+	r.Latency("rpc.latency_seconds").Observe(0.02)
 	h := Handler(r)
 
 	get := func(path string) (int, string) {

@@ -128,6 +128,10 @@ type Manager struct {
 	// Obs mirrors the Counters increments into a metrics registry when
 	// wired; the zero value no-ops.
 	Obs obs.SessionCounters
+	// Durations, when wired, receives each ended session's achieved
+	// lifetime in engine-clock units (admission to completion or
+	// failure) — the SLO latency plane's session timer. nil no-ops.
+	Durations *obs.LatencyHist
 }
 
 // NewManager returns a session manager bound to the network and engine.
@@ -237,13 +241,13 @@ func (m *Manager) Admit(user topology.PeerID, instances []*service.Instance,
 		User:      user,
 		Instances: instances,
 		// lint:allow hotalloc admission copies the peer path it retains; counted in the budget
-		Peers:     append([]topology.PeerID(nil), peers...),
-		Start:     m.engine.Now(),
-		Duration:  dur,
+		Peers:    append([]topology.PeerID(nil), peers...),
+		Start:    m.engine.Now(),
+		Duration: dur,
 		// lint:allow hotalloc per-session hold flags; counted in the budget
-		resHeld:   make([]bool, len(peers)),
+		resHeld: make([]bool, len(peers)),
 		// lint:allow hotalloc per-session hold flags; counted in the budget
-		edgeHeld:  make([]bool, len(peers)),
+		edgeHeld: make([]bool, len(peers)),
 	}
 
 	// lint:allow hotalloc rejection-path closure shared by the admission guards; non-escaping on success
@@ -314,6 +318,7 @@ func (m *Manager) complete(s *Session) {
 	s.State = Completed
 	m.counters.Completed++
 	m.Obs.Completed.Inc()
+	m.Durations.Observe(m.engine.Now() - s.Start)
 	if m.OnEnd != nil {
 		m.OnEnd(s)
 	}
@@ -330,6 +335,7 @@ func (m *Manager) failSession(s *Session) {
 	s.done.Cancel()
 	m.counters.Failed++
 	m.Obs.Failed.Inc()
+	m.Durations.Observe(m.engine.Now() - s.Start)
 	if m.OnEnd != nil {
 		m.OnEnd(s)
 	}

@@ -167,6 +167,14 @@ type Config struct {
 	// by the virtual clock — same-seed runs emit byte-identical streams.
 	TelemetryOut io.Writer
 
+	// SpanSample, in [0, 1], additionally emits causal spans (KindSpan)
+	// for a deterministic fraction of requests: the sampling decision is
+	// a pure function of (seed, request ID), so the same requests are
+	// traced whatever the shard count. 0 — the default — disables spans
+	// entirely, keeping the bare TelemetryOut stream byte-identical with
+	// pre-span versions; 1 traces every request. Requires TelemetryOut.
+	SpanSample float64
+
 	// Metrics, when non-nil, receives runtime work counters from every
 	// subsystem (compose, selection, probing, sessions, discovery cache,
 	// compatibility memo).
@@ -254,6 +262,9 @@ func (c *Config) fillDefaults() error {
 	if c.Shards < 0 || c.ShardWorkers < 0 || c.ShardLookahead < 0 {
 		return fmt.Errorf("sim: negative sharding parameters")
 	}
+	if c.SpanSample < 0 || c.SpanSample > 1 {
+		return fmt.Errorf("sim: span sample fraction %g outside [0, 1]", c.SpanSample)
+	}
 	if c.Catalog.Apps == 0 {
 		c.Catalog = catalog.Default(c.Seed)
 	}
@@ -338,6 +349,14 @@ type Simulator struct {
 	agg    *core.Aggregator
 	tracer *obs.Tracer
 
+	// Causal-span state: the span source (nil unless SpanSample > 0),
+	// the per-request sampling salt, and the root spans of admitted
+	// requests that are still open, keyed by session ID — a session's
+	// root span closes from onSessionEnd with the final outcome.
+	spans     *obs.Spans
+	spanSalt  uint64
+	openRoots map[uint64]obs.Span
+
 	// Sharded-mode state: one aggregator per physical lane (so prepare
 	// workers never share compose scratch), the strategy resolved once,
 	// the per-request stream salt, and the schedule-order request index.
@@ -420,6 +439,9 @@ func New(cfg Config) (*Simulator, error) {
 		cfg.Compose.Obs = obs.NewComposeCounters(cfg.Metrics)
 		s.probes.Obs = obs.NewProbeCounters(cfg.Metrics)
 		s.sess.Obs = obs.NewSessionCounters(cfg.Metrics)
+		// Achieved session lifetimes (virtual minutes): completed sessions
+		// land on their requested duration, departure-failed ones short.
+		s.sess.Durations = cfg.Metrics.Latency("session.duration_minutes")
 		s.qsaSel.Counters = obs.NewSelectionCounters(cfg.Metrics)
 		s.reg.Obs = obs.NewDiscoveryCounters(cfg.Metrics)
 		if cfg.Compose.Memo != nil {
@@ -471,6 +493,20 @@ func New(cfg Config) (*Simulator, error) {
 		// can share the tracer.
 		for _, la := range s.laneAggs {
 			la.Tracer = s.tracer
+		}
+		if cfg.SpanSample > 0 {
+			// Span IDs and the sampling decision both derive from the run
+			// seed alone, so same-seed runs mint identical causal trees
+			// whatever the shard count. The lane aggregators share the one
+			// span source: like the tracer, they mint spans only from the
+			// serial commit phase.
+			s.spans = obs.NewSpans(s.tracer, xrand.MixString(cfg.Seed, "spans"))
+			s.spanSalt = xrand.MixString(cfg.Seed, "spansample")
+			s.openRoots = make(map[uint64]obs.Span)
+			s.agg.Spans = s.spans
+			for _, la := range s.laneAggs {
+				la.Spans = s.spans
+			}
 		}
 		// Hop reports join the request span via the aggregator's current
 		// request ID (single simulation goroutine, so never stale here).
@@ -562,11 +598,38 @@ func (s *Simulator) onSessionEnd(sess *session.Session) {
 		}
 		s.tracer.Emit(ev)
 	}
+	if root, open := s.openRoots[sess.ID]; open {
+		delete(s.openRoots, sess.ID)
+		ev := obs.Event{OK: ok, Session: strconv.FormatUint(sess.ID, 10)}
+		if !ok {
+			ev.Stage = obs.StageDeparture
+			ev.Err = "provisioning peer departed"
+		}
+		root.End(ev)
+	}
 	if ok {
 		s.stats.Succeeded++
 	} else {
 		s.stats.DepartureFailed++
 	}
+}
+
+// rootSpan mints the root span for the aggregator's current request ID,
+// subject to deterministic sampling: the decision is a pure function of
+// (seed, request ID), so the same requests are traced for every shard
+// count. It returns the inert zero Span when spans are disabled or the
+// request is unsampled.
+func (s *Simulator) rootSpan() obs.Span {
+	if s.spans == nil {
+		return obs.Span{}
+	}
+	if s.cfg.SpanSample < 1 {
+		h := xrand.MixIndex(s.spanSalt, s.agg.ReqID)
+		if float64(h>>11)/(1<<53) >= s.cfg.SpanSample {
+			return obs.Span{}
+		}
+	}
+	return s.spans.Root(s.agg.ReqID)
 }
 
 // failEarly accounts a request that failed before the pipeline could
@@ -581,13 +644,25 @@ func (s *Simulator) failEarly(now float64, app, reason string) {
 		s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: s.agg.ReqID,
 			Stage: obs.StageDiscovery, Err: reason})
 	}
+	s.rootSpan().End(obs.Event{Stage: obs.StageDiscovery, Err: reason})
 	// Engine time is never negative, so the record cannot fail.
 	_ = s.sampler.Record(now, false)
 }
 
 // recover implements the runtime-recovery extension via the core engine.
 func (s *Simulator) recover(sess *session.Session, k int, now float64) (topology.PeerID, bool) {
-	return s.agg.Recover(sess, k, now)
+	peer, ok := s.agg.Recover(sess, k, now)
+	if root, open := s.openRoots[sess.ID]; open {
+		// Mid-session repair: anchor it under the still-open request root
+		// so the critical-path explainer sees what recovery cost.
+		ev := obs.Event{Stage: obs.StageRecovery, Hop: k + 1,
+			Inst: sess.Instances[k].ID, OK: ok}
+		if ok {
+			ev.Peer = strconv.Itoa(int(peer))
+		}
+		root.Child().End(ev)
+	}
+	return peer, ok
 }
 
 // issueRequest runs the full aggregation pipeline for one user request.
@@ -649,6 +724,8 @@ func (s *Simulator) issueReplayed(now float64, e trace.Entry) {
 func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Request) {
 	s.stats.Issued++
 	s.agg.ReqID++ // opens the request span; core events join it
+	root := s.rootSpan()
+	s.agg.ReqSpan = root.Context()
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{Kind: obs.KindRequest, Req: s.agg.ReqID,
 			User: strconv.Itoa(int(user.ID)), App: req.App.ID,
@@ -658,8 +735,13 @@ func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Req
 	if s.cfg.DisableRetry {
 		strat.Retries = 0
 	}
-	_, err := s.agg.Aggregate(user.ID, req, now, strat)
+	sess, err := s.agg.Aggregate(user.ID, req, now, strat)
 	if err == nil {
+		if root.Active() {
+			// The request root stays open for the session's lifetime; it
+			// closes from onSessionEnd with the final outcome.
+			s.openRoots[sess.ID] = root
+		}
 		return // outcome recorded by onSessionEnd
 	}
 	// The stage switch and the trace event use the same mapping
@@ -678,6 +760,9 @@ func (s *Simulator) issueWith(now float64, user *topology.Peer, req *service.Req
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: s.agg.ReqID,
 			Stage: core.EventStage(err), Err: err.Error()})
+	}
+	if root.Active() {
+		root.End(obs.Event{Stage: core.EventStage(err), Err: err.Error()})
 	}
 	_ = s.sampler.Record(now, false)
 }
@@ -767,6 +852,8 @@ func (s *Simulator) commitRequest(r *shardReq) {
 	s.stats.Issued++
 	s.agg.ReqID++ // the request-span counter; hop reports read it
 	la.ReqID = s.agg.ReqID
+	root := s.rootSpan()
+	la.ReqSpan = root.Context()
 	if r.user == nil {
 		s.stats.DiscoveryFailed++
 		if s.tracer != nil {
@@ -774,6 +861,7 @@ func (s *Simulator) commitRequest(r *shardReq) {
 			s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: la.ReqID,
 				Stage: obs.StageDiscovery, Err: "no alive user peer"})
 		}
+		root.End(obs.Event{Stage: obs.StageDiscovery, Err: "no alive user peer"})
 		_ = s.sampler.Record(now, false)
 		return
 	}
@@ -791,14 +879,18 @@ func (s *Simulator) commitRequest(r *shardReq) {
 			User: strconv.Itoa(int(r.user.ID)), App: r.req.App.ID,
 			Level: r.req.Level.String(), Duration: r.req.Duration})
 	}
+	var sess *session.Session
 	var err error
 	if r.prep != nil {
-		_, err = la.AggregateFinish(r.prep, r.user.ID, r.req, now, s.strat, r.src)
+		sess, err = la.AggregateFinish(r.prep, r.user.ID, r.req, now, s.strat, r.src)
 	} else {
 		la.RNG = r.src
-		_, err = la.Aggregate(r.user.ID, r.req, now, s.strat)
+		sess, err = la.Aggregate(r.user.ID, r.req, now, s.strat)
 	}
 	if err == nil {
+		if root.Active() {
+			s.openRoots[sess.ID] = root
+		}
 		return // outcome recorded by onSessionEnd
 	}
 	switch core.StageOf(err) {
@@ -814,6 +906,9 @@ func (s *Simulator) commitRequest(r *shardReq) {
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{Kind: obs.KindFail, Req: la.ReqID,
 			Stage: core.EventStage(err), Err: err.Error()})
+	}
+	if root.Active() {
+		root.End(obs.Event{Stage: core.EventStage(err), Err: err.Error()})
 	}
 	_ = s.sampler.Record(now, false)
 }

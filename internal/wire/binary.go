@@ -16,7 +16,7 @@ import (
 //	              lets a server tell binary from JSON without config
 //	offset 2      version (currently 1)
 //	offset 3      message kind (Kind*; KindOther carries the string)
-//	offset 4      flags (response / idempotent / ok / trace)
+//	offset 4      flags (response / idempotent / ok / trace / trace-ctx)
 //	offset 5..12  request correlation ID, uint64
 //	offset 13..   body length as uvarint, then the body
 //	last 4 bytes  CRC32C (Castagnoli) of everything preceding
@@ -29,6 +29,8 @@ import (
 // always-present sequences (Instance.Qin/Qout, candidate provider
 // lists) use count+1 with 0 meaning nil, so binary and JSON decode to
 // identical structs — the cross-codec differential test pins this.
+// Requests carrying causal trace context append (TraceID, SpanID)
+// uvarints after every other body field, gated by FlagTraceCtx.
 const (
 	magic0     = 0x51 // 'Q'
 	magic1     = 0x53 // 'S'
@@ -56,6 +58,14 @@ const (
 
 	flagOK    byte = 1 << 2
 	flagTrace byte = 1 << 3
+
+	// FlagTraceCtx marks a request whose body tail carries the causal
+	// trace context (TraceID, SpanID uvarints appended after every other
+	// field). Gating the extension behind a flag keeps old frames
+	// byte-identical; a decoder built without the flag rejects extended
+	// frames as trailing bytes, and the documented rollback remains the
+	// JSON codec, which ignores unknown fields (DESIGN §12).
+	FlagTraceCtx byte = 1 << 4
 )
 
 // MaxMessage bounds one framed message (body + envelope). Anything
@@ -440,6 +450,9 @@ func (c *Binary) AppendRequest(dst []byte, reqID uint64, req *Request) ([]byte, 
 	if req.Trace {
 		flags |= flagTrace
 	}
+	if req.TraceID != 0 || req.SpanID != 0 {
+		flags |= FlagTraceCtx
+	}
 	start := len(dst)
 	dst = appendHeader(dst, kind, flags, reqID)
 	bodyStart := len(dst)
@@ -478,6 +491,12 @@ func (c *Binary) AppendRequest(dst []byte, reqID uint64, req *Request) ([]byte, 
 	dst = appendUvarint(dst, uint64(len(req.Chain)))
 	for _, s := range req.Chain {
 		dst = appendString(dst, s)
+	}
+	// Extension tail: present only when FlagTraceCtx is set, so
+	// untraced frames stay byte-identical to the pre-extension format.
+	if flags&FlagTraceCtx != 0 {
+		dst = appendUvarint(dst, req.TraceID)
+		dst = appendUvarint(dst, req.SpanID)
 	}
 	return finishFrame(dst, start, bodyStart)
 }
@@ -604,6 +623,12 @@ func (c *Binary) DecodeRequest(data []byte, req *Request) (uint64, error) {
 	req.Instances = c.decodeInstances(&r, req.Instances)
 	req.Candidates = c.decodeCandidates(&r, req.Candidates)
 	req.Chain = c.decodeStrings(&r, req.Chain)
+	if flags&FlagTraceCtx != 0 {
+		req.TraceID = r.uvarint()
+		req.SpanID = r.uvarint()
+	} else {
+		req.TraceID, req.SpanID = 0, 0
+	}
 	if r.fail {
 		return 0, ErrTruncated
 	}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBinaryTraceContext covers the FlagTraceCtx extension tail: the
+// flag bit appears exactly when a trace context is present, the IDs
+// round-trip, and a flag-less frame decoded into a dirty struct
+// zeroes the fields rather than leaking the previous message's IDs.
+func TestBinaryTraceContext(t *testing.T) {
+	bin := NewBinary()
+
+	traced := Request{Type: TypeSelect, TraceID: 0xfeedface, SpanID: 7}
+	buf, err := bin.AppendRequest(nil, 3, &traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags, ok := MessageFlags(buf)
+	if !ok || flags&FlagTraceCtx == 0 {
+		t.Fatalf("traced frame must carry FlagTraceCtx: flags=%08b ok=%v", flags, ok)
+	}
+	var got Request
+	if _, err := bin.DecodeRequest(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0xfeedface || got.SpanID != 7 {
+		t.Fatalf("trace context lost in transit: %+v", got)
+	}
+
+	// A span ID alone (context joined mid-chain) still sets the flag.
+	half := Request{Type: TypeProbe, SpanID: 9}
+	hbuf, err := bin.AppendRequest(nil, 4, &half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := MessageFlags(hbuf); f&FlagTraceCtx == 0 {
+		t.Fatal("SpanID alone must still set FlagTraceCtx")
+	}
+
+	// An untraced request encodes without the flag — the frame is
+	// byte-for-byte what a pre-extension encoder would have produced.
+	plain := Request{Type: TypeSelect}
+	pbuf, err := bin.AppendRequest(nil, 5, &plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := MessageFlags(pbuf); f&FlagTraceCtx != 0 {
+		t.Fatal("untraced frame must not carry FlagTraceCtx")
+	}
+	// Decoding it into the struct that just held a traced message must
+	// clear the IDs.
+	if _, err := bin.DecodeRequest(pbuf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0 || got.SpanID != 0 {
+		t.Fatalf("flag-less frame leaked stale trace context: %+v", got)
+	}
+}
+
+// TestTraceContextForwardCompatJSON is the satellite regression test:
+// a frame carrying the new trace-context fields must decode cleanly on
+// a peer built without them. oldRequest mirrors the pre-extension
+// Request shape; encoding/json drops unknown keys, which is exactly
+// the rollback property the JSON codec exists to guarantee.
+func TestTraceContextForwardCompatJSON(t *testing.T) {
+	type oldRequest struct {
+		Type        string              `json:"type"`
+		Addr        string              `json:"addr,omitempty"`
+		Service     string              `json:"service,omitempty"`
+		Instances   []Instance          `json:"instances,omitempty"`
+		Candidates  map[string][]string `json:"candidates,omitempty"`
+		Idx         int                 `json:"idx,omitempty"`
+		Chain       []string            `json:"chain,omitempty"`
+		UserAddr    string              `json:"user_addr,omitempty"`
+		Trace       bool                `json:"trace,omitempty"`
+		SessionID   string              `json:"session_id,omitempty"`
+		InstanceID  string              `json:"instance_id,omitempty"`
+		CPU         float64             `json:"cpu,omitempty"`
+		Memory      float64             `json:"memory,omitempty"`
+		DurationSec float64             `json:"duration_sec,omitempty"`
+	}
+
+	req := Request{
+		Type:    TypeSelect,
+		Idx:     2,
+		Chain:   []string{"127.0.0.1:9001"},
+		TraceID: 1<<62 | 42,
+		SpanID:  0xabc,
+	}
+	frame, err := (JSON{}).AppendRequest(nil, 1, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old oldRequest
+	if err := json.Unmarshal(frame, &old); err != nil {
+		t.Fatalf("pre-extension peer failed to decode a traced frame: %v", err)
+	}
+	if old.Type != TypeSelect || old.Idx != 2 || len(old.Chain) != 1 {
+		t.Fatalf("traced frame mangled the pre-extension fields: %+v", old)
+	}
+
+	// And the converse: a pre-extension frame (no trace keys) decodes
+	// on the new peer with the context zeroed, even into a dirty struct.
+	oldFrame, err := json.Marshal(oldRequest{Type: TypeProbe, Addr: "127.0.0.1:9009"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := Request{TraceID: 99, SpanID: 99}
+	if _, err := (JSON{}).DecodeRequest(oldFrame, &dirty); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.TraceID != 0 || dirty.SpanID != 0 || dirty.Type != TypeProbe {
+		t.Fatalf("old frame decoded wrong on the new peer: %+v", dirty)
+	}
+
+	// The wire encoding omits the keys entirely when unset, so untraced
+	// JSON frames are byte-identical to pre-extension output.
+	plain, err := (JSON{}).AppendRequest(nil, 1, &Request{Type: TypeProbe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asMap map[string]any
+	if err := json.Unmarshal(plain, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := asMap["trace_id"]; ok {
+		t.Fatal("untraced frame must omit trace_id")
+	}
+	if _, ok := asMap["span_id"]; ok {
+		t.Fatal("untraced frame must omit span_id")
+	}
+}

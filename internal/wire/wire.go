@@ -167,6 +167,14 @@ type Request struct {
 	CPU         float64 `json:"cpu,omitempty"`
 	Memory      float64 `json:"memory,omitempty"`
 	DurationSec float64 `json:"duration_sec,omitempty"`
+
+	// Causal trace context (optional): the caller's trace and current
+	// span, so the serving peer can parent its spans under the request's
+	// tree (DESIGN §13). Zero means untraced. In JSON the fields simply
+	// omit when zero — a peer built without them ignores the extras — and
+	// the binary codec gates them behind FlagTraceCtx at the body tail.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // Offer is one (instance, provider) discovery result.

@@ -56,6 +56,11 @@ func sampleRequests() []Request {
 			},
 			Candidates: map[string][]string{"bare": nil, "empt": {}},
 		},
+		{ // trace context rides any request type, with full 64-bit IDs
+			Type:    TypeProbe,
+			TraceID: 1<<63 | 0xdeadbeef,
+			SpanID:  0x1234567890abcdef,
+		},
 	}
 }
 
