@@ -21,7 +21,8 @@
 #             sharded scheduler the million-peer runs sit on) must stay
 #             at or above 90.0%; internal/wire (the binary codec and
 #             packet framing under the UDP transport) must stay at or
-#             above 90.0%
+#             above 90.0%; internal/load (the open-loop generator
+#             behind qsaload) must stay at or above 90.0%
 #   shards    scripts/bench_shards.sh smoke: a 1-shard and a 4-shard run
 #             of the same seed must produce byte-identical output and
 #             both must complete (timings printed; full curve via
@@ -33,6 +34,12 @@
 #             the binary codec fuzz corpus (FuzzBinaryDecode seeds) must
 #             decode clean, and the steady-state encode/decode path must
 #             hold its zero-allocations budget (TestBinarySteadyStateAllocs)
+#   serving   scripts/bench_serving.sh smoke: the open-loop serving plane
+#             must shed nothing at low load on all four schedule×stack
+#             legs and must shed with bounded p99 on the overload leg
+#             (full curve: scripts/bench_serving.sh → BENCH_serving.json);
+#             the admission fast path must hold its zero-allocations
+#             budget (TestAdmitFastPathAllocs, TestAdmissionFastPathAllocs)
 #   bench     the Telemetry benchmarks run once; they fail if the
 #             disabled-sink hot paths allocate. The request hot-path
 #             benchmarks (QCS, Discover, Aggregate, SimMinute, the probe
@@ -74,7 +81,8 @@ obs_cover_out=$(mktemp /tmp/qsa_obs_cover.XXXXXX)
 analysis_cover_out=$(mktemp /tmp/qsa_analysis_cover.XXXXXX)
 eventsim_cover_out=$(mktemp /tmp/qsa_eventsim_cover.XXXXXX)
 wire_cover_out=$(mktemp /tmp/qsa_wire_cover.XXXXXX)
-trap 'rm -f "$cover_out" "$obs_cover_out" "$analysis_cover_out" "$eventsim_cover_out" "$wire_cover_out"' EXIT
+load_cover_out=$(mktemp /tmp/qsa_load_cover.XXXXXX)
+trap 'rm -f "$cover_out" "$obs_cover_out" "$analysis_cover_out" "$eventsim_cover_out" "$wire_cover_out" "$load_cover_out"' EXIT
 go test -short -coverprofile="$cover_out" ./internal/netproto/ > /dev/null
 cover=$(go tool cover -func="$cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 awk -v c="$cover" 'BEGIN {
@@ -129,11 +137,25 @@ awk -v c="$wire_cover" 'BEGIN {
 	print "wire coverage " c "% (baseline 90.0%)"
 }'
 
+echo '>> load (open-loop generator) coverage gate'
+go test -short -coverprofile="$load_cover_out" ./internal/load/ > /dev/null
+load_cover=$(go tool cover -func="$load_cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+awk -v c="$load_cover" 'BEGIN {
+	if (c + 0 < 90.0) {
+		print "load coverage " c "% dropped below the 90.0% baseline"
+		exit 1
+	}
+	print "load coverage " c "% (baseline 90.0%)"
+}'
+
 echo '>> shard determinism smoke'
 scripts/bench_shards.sh smoke
 
 echo '>> rpc wire-plane smoke'
 scripts/bench_rpc.sh smoke
+
+echo '>> serving-plane SLO smoke'
+scripts/bench_serving.sh smoke
 
 echo '>> binary codec fuzz corpus'
 go test -run '^FuzzBinaryDecode$' -count=1 ./internal/wire/ > /dev/null
@@ -148,5 +170,7 @@ go test -race -run '^$' -bench 'Benchmark(QCS|Discover|Aggregate|SimMinute|Table
 echo '>> steady-state allocation gates'
 go test -run 'TestAggregateSteadyStateAllocs' -count=1 ./internal/core/ > /dev/null
 go test -run 'TestBinarySteadyStateAllocs' -count=1 ./internal/wire/ > /dev/null
+go test -run 'TestAdmitFastPathAllocs' -count=1 ./internal/core/ > /dev/null
+go test -run 'TestAdmissionFastPathAllocs' -count=1 ./internal/netproto/ > /dev/null
 
 echo 'ci: ok'

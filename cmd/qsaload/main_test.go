@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/netproto"
+	"repro/internal/qos"
+	"repro/internal/resource"
+	"repro/internal/service"
+)
+
+// startCluster brings up a serving peer (admission on) with two
+// providers of "work", returning the serving address.
+func startCluster(t *testing.T) string {
+	t.Helper()
+	srv, err := netproto.Start(netproto.Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100,
+		RPCTimeout: 2 * time.Second, Admit: netproto.AdmitConfig{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	for i := 0; i < 2; i++ {
+		w, err := netproto.Start(netproto.Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100,
+			RPCTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		if err := w.Join(srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		in := &service.Instance{
+			ID:      fmt.Sprintf("work#%d", i),
+			Service: "work",
+			Qin:     qos.MustVector(qos.Sym("format", "A"), qos.Range("rate", 0, 40)),
+			Qout:    qos.MustVector(qos.Sym("format", "B"), qos.Range("rate", 20, 25)),
+			R:       resource.Vec2(5, 5),
+			OutKbps: 50,
+		}
+		if err := w.Provide(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv.Addr()
+}
+
+func TestQsaloadEndToEnd(t *testing.T) {
+	addr := startCluster(t)
+	outFile := filepath.Join(t.TempDir(), "run.load.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-target", addr,
+		"-rate", "400", "-requests", "40",
+		"-mix", "only:1:work:1",
+		"-workers", "2",
+		"-out", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "throughput") || !strings.Contains(text, "class only") {
+		t.Fatalf("summary missing expected sections:\n%s", text)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Sent != 40 {
+		t.Fatalf("report sent %d, want 40", rep.Total.Sent)
+	}
+	if rep.Total.OK == 0 {
+		t.Fatalf("no request succeeded: %+v", rep.Total)
+	}
+	if rep.Total.Latency.Count != rep.Total.OK {
+		t.Fatalf("latency count %d != ok %d", rep.Total.Latency.Count, rep.Total.OK)
+	}
+}
+
+func TestQsaloadFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rate", "10"}, &out); err == nil {
+		t.Error("missing -target accepted")
+	}
+	if err := run([]string{"-target", "x", "-workers", "0"}, &out); err == nil {
+		t.Error("-workers 0 accepted")
+	}
+	if err := run([]string{"-target", "x", "-mix", "bad"}, &out); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if err := run([]string{"-target", "x", "-schedule", "lunar"}, &out); err == nil {
+		t.Error("bad schedule accepted")
+	}
+	if err := run([]string{"-target", "x", "-rate", "0", "-duration", "1s"}, &out); err == nil {
+		t.Error("zero arrivals accepted")
+	}
+}

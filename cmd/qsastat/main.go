@@ -12,6 +12,9 @@
 //	                                      # + hot-path cache effectiveness
 //	qsastat -trace run.tel.jsonl          # SLO latency table + span reconciliation
 //	qsastat -trace -req 17 run.tel.jsonl  # span timeline + critical path of request 17
+//	qsastat -load a.load.json b.load.json # merge qsaload reports: fleet SLO table
+//	qsastat -load -metrics p1.json,p2.json run.load.json
+//	                                      # + server-side admission/shed breakdown
 //
 // The -metrics input is the JSON snapshot written by
 // `qsasim -metrics-out` (the same shape qsapeer serves at /vars); from
@@ -43,9 +46,16 @@ func run(args []string, out io.Writer) error {
 	hop := fs.Int("hop", 0, "with -req: show only this 1-based hop's candidate decisions")
 	met := fs.String("metrics", "", "metrics snapshot JSON (qsasim -metrics-out); adds a cache-effectiveness section")
 	trc := fs.Bool("trace", false, "causal-span mode: SLO latency table and span/decision reconciliation; with -req, one request's span timeline and critical path")
+	ld := fs.Bool("load", false, "serving-load mode: args are qsaload JSON reports (merged); -metrics takes comma-separated peer snapshots for the server-side view")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ld {
+		if fs.NArg() < 1 {
+			return fmt.Errorf("usage: qsastat -load [-metrics snap.json,...] <run.load.json> [more.load.json ...]")
+		}
+		return loadReport(out, fs.Args(), *met)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: qsastat [-req N [-hop H]] <telemetry.jsonl>")

@@ -9,12 +9,16 @@ import (
 // determinismExempt lists internal packages allowed to touch the wall
 // clock: the network prototype talks to a real network on real time, the
 // fault plane injects real latency into real TCP dials (its *decisions*
-// are still pure functions of the seed — see package faults), and this
-// analysis package is not part of any simulation path.
+// are still pure functions of the seed — see package faults), the
+// open-loop load generator paces real arrivals against the wall clock
+// by definition (its schedules and mixes are still pure functions of
+// the seed — see package load), and this analysis package is not part
+// of any simulation path.
 var determinismExempt = map[string]bool{
 	"netproto": true,
 	"faults":   true,
 	"analysis": true,
+	"load":     true,
 }
 
 // forbiddenTimeFuncs are the time-package functions that inject

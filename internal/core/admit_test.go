@@ -1,0 +1,194 @@
+package core
+
+import "testing"
+
+// TestAdmitFastPath: free worker slots admit immediately, without
+// touching the queue or the sequence counter.
+func TestAdmitFastPath(t *testing.T) {
+	q := NewAdmitQueue(2, 4)
+	for i := 0; i < 2; i++ {
+		d, _, _, evict := q.Offer(0, false)
+		if d != AdmitRun || evict {
+			t.Fatalf("offer %d: decision %v evict %v, want AdmitRun", i, d, evict)
+		}
+	}
+	if q.Active() != 2 || q.QueueLen() != 0 {
+		t.Fatalf("active %d queue %d, want 2/0", q.Active(), q.QueueLen())
+	}
+}
+
+// TestAdmitQueueAndShed: with workers busy, arrivals queue to the
+// bound, then the least important of (queue ∪ arrival) sheds.
+func TestAdmitQueueAndShed(t *testing.T) {
+	q := NewAdmitQueue(1, 2)
+	q.Offer(0, false) // occupies the worker
+	d, w1, _, _ := q.Offer(1, false)
+	if d != AdmitWait {
+		t.Fatalf("first wait: %v", d)
+	}
+	d, _, _, _ = q.Offer(2, false)
+	if d != AdmitWait {
+		t.Fatalf("second wait: %v", d)
+	}
+	// Queue full. A lower-priority arrival sheds itself.
+	d, _, _, evict := q.Offer(0, false)
+	if d != AdmitShed || evict {
+		t.Fatalf("low-priority arrival: %v evict=%v, want AdmitShed", d, evict)
+	}
+	// A higher-priority arrival evicts the least important waiter (w1,
+	// priority 1).
+	d, _, evicted, hasEvict := q.Offer(3, false)
+	if d != AdmitWait || !hasEvict {
+		t.Fatalf("high-priority arrival: %v evict=%v, want AdmitWait with eviction", d, hasEvict)
+	}
+	if evicted.Seq != w1.Seq {
+		t.Fatalf("evicted seq %d, want %d (the lowest-priority waiter)", evicted.Seq, w1.Seq)
+	}
+	if q.QueueLen() != 2 {
+		t.Fatalf("queue %d after eviction swap, want 2", q.QueueLen())
+	}
+}
+
+// TestAdmitShedOrder pins the full shed ordering: priority, then
+// disruption tolerance, then youth.
+func TestAdmitShedOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b AdmitItem
+		want bool // a sheds before b
+	}{
+		{"lower priority first", AdmitItem{Priority: 0, Seq: 1}, AdmitItem{Priority: 1, Seq: 2}, true},
+		{"higher priority later", AdmitItem{Priority: 2, Seq: 1}, AdmitItem{Priority: 1, Seq: 2}, false},
+		{"tolerant before firm", AdmitItem{Priority: 1, DTolerant: true, Seq: 1}, AdmitItem{Priority: 1, Seq: 2}, true},
+		{"firm after tolerant", AdmitItem{Priority: 1, Seq: 1}, AdmitItem{Priority: 1, DTolerant: true, Seq: 2}, false},
+		{"younger first", AdmitItem{Priority: 1, Seq: 9}, AdmitItem{Priority: 1, Seq: 3}, true},
+		{"older later", AdmitItem{Priority: 1, Seq: 3}, AdmitItem{Priority: 1, Seq: 9}, false},
+	}
+	for _, c := range cases {
+		if got := shedBefore(c.a, c.b); got != c.want {
+			t.Errorf("%s: shedBefore(%+v, %+v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestAdmitReleaseOrder: Release pops waiters most-important first —
+// the exact inverse of shed order.
+func TestAdmitReleaseOrder(t *testing.T) {
+	q := NewAdmitQueue(1, 4)
+	q.Offer(0, false) // worker busy
+	_, loPri, _, _ := q.Offer(0, false)
+	_, hiTol, _, _ := q.Offer(2, true)
+	_, hiOld, _, _ := q.Offer(2, false)
+	_, hiYng, _, _ := q.Offer(2, false)
+	wantOrder := []uint64{hiOld.Seq, hiYng.Seq, hiTol.Seq, loPri.Seq}
+	for i, want := range wantOrder {
+		next, ok := q.Release()
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		if next.Seq != want {
+			t.Fatalf("pop %d: seq %d, want %d", i, next.Seq, want)
+		}
+		// The popped waiter "runs": the slot transfers, active stays 1.
+		if q.Active() != 1 {
+			t.Fatalf("pop %d: active %d, want 1", i, q.Active())
+		}
+	}
+	if _, ok := q.Release(); ok {
+		t.Fatal("empty queue still popped a waiter")
+	}
+	if q.Active() != 0 {
+		t.Fatalf("final active %d, want 0", q.Active())
+	}
+}
+
+// TestAdmitDeterministic: identical offer/release sequences make
+// identical decisions — the property netproto's retry-after hints and
+// the chaos suite lean on.
+func TestAdmitDeterministic(t *testing.T) {
+	run := func() []AdmitDecision {
+		q := NewAdmitQueue(2, 3)
+		var out []AdmitDecision
+		offers := []struct {
+			pri int
+			dt  bool
+		}{{0, false}, {1, true}, {2, false}, {0, false}, {3, false}, {1, false}, {0, true}}
+		for i, o := range offers {
+			d, _, _, _ := q.Offer(o.pri, o.dt)
+			out = append(out, d)
+			if i%3 == 2 {
+				q.Release()
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAdmitRetryAfter: the backoff hint scales linearly with queue
+// depth and is pure in the queue state.
+func TestAdmitRetryAfter(t *testing.T) {
+	q := NewAdmitQueue(1, 3)
+	if got := q.RetryAfter(0.1); got != 0.1 {
+		t.Fatalf("idle hint %g, want 0.1", got)
+	}
+	q.Offer(0, false)
+	for i := 1; i <= 3; i++ {
+		q.Offer(0, false)
+		want := 0.1 * float64(1+i)
+		if got := q.RetryAfter(0.1); got != want {
+			t.Fatalf("depth %d: hint %g, want %g", i, got, want)
+		}
+		if again := q.RetryAfter(0.1); again != want {
+			t.Fatalf("depth %d: hint not pure (%g then %g)", i, want, again)
+		}
+	}
+}
+
+// TestAdmitClamps: degenerate constructor arguments clamp instead of
+// producing a queue that can never run anything.
+func TestAdmitClamps(t *testing.T) {
+	q := NewAdmitQueue(0, -5)
+	d, _, _, _ := q.Offer(0, false)
+	if d != AdmitRun {
+		t.Fatalf("clamped queue refused its first offer: %v", d)
+	}
+	// maxQueue clamped to 0: the next offer sheds immediately.
+	d, _, _, _ = q.Offer(5, false)
+	if d != AdmitShed {
+		t.Fatalf("zero-length queue queued anyway: %v", d)
+	}
+}
+
+// TestAdmitFastPathAllocs is the ci-gated zero-allocation property of
+// the admission fast path: uncontended Offer/Release cycles touch no
+// heap.
+func TestAdmitFastPathAllocs(t *testing.T) {
+	q := NewAdmitQueue(4, 8)
+	per := testing.AllocsPerRun(1000, func() {
+		q.Offer(1, false)
+		q.Release()
+	})
+	if per != 0 {
+		t.Fatalf("admission fast path allocates %.1f times per offer/release", per)
+	}
+	// The contended path must also stay allocation-free: queue slots are
+	// preallocated to the bound.
+	for i := 0; i < 4; i++ {
+		q.Offer(0, false)
+	}
+	per = testing.AllocsPerRun(1000, func() {
+		q.Offer(1, false) // queues (slots preallocated to the bound)
+		q.Release()       // pops it; the slot transfers
+		q.Offer(2, false)
+		q.Release()
+	})
+	if per != 0 {
+		t.Fatalf("admission queued path allocates %.1f times per cycle", per)
+	}
+}

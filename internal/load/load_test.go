@@ -1,0 +1,444 @@
+package load
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netproto"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s, err := NewConstant(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got := s.Next()
+		want := time.Duration(i) * 10 * time.Millisecond
+		if got != want {
+			t.Fatalf("arrival %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func collect(s Schedule, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+func TestBurstySchedule(t *testing.T) {
+	const n = 4000
+	a, err := NewBursty(1000, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBursty(1000, 8, 42)
+	got, again := collect(a, n), collect(b, n)
+	clumped := 0
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("arrival %d: %v != %v (same seed must replay)", i, got[i], again[i])
+		}
+		if i > 0 {
+			if got[i] < got[i-1] {
+				t.Fatalf("arrival %d at %v before %d at %v", i, got[i], i-1, got[i-1])
+			}
+			if got[i] == got[i-1] {
+				clumped++
+			}
+		}
+	}
+	// Poisson-burst clumps back-to-back arrivals at the burst epoch:
+	// with mean burst 8, most arrivals share an epoch with a neighbour.
+	if clumped < n/2 {
+		t.Fatalf("only %d/%d arrivals clumped; bursts missing", clumped, n)
+	}
+	rate := float64(n) / got[n-1].Seconds()
+	if rate < 700 || rate > 1400 {
+		t.Fatalf("achieved rate %.0f/s, want ≈1000/s", rate)
+	}
+	other, _ := NewBursty(1000, 8, 43)
+	if collect(other, 1)[0] == got[0] {
+		t.Fatal("different seeds produced identical first arrival")
+	}
+}
+
+func TestDiurnalSchedule(t *testing.T) {
+	const n = 5000
+	a, err := NewDiurnal(1000, 0.8, time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewDiurnal(1000, 0.8, time.Second, 7)
+	got, again := collect(a, n), collect(b, n)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("arrival %d: %v != %v (same seed must replay)", i, got[i], again[i])
+		}
+		if i > 0 && got[i] < got[i-1] {
+			t.Fatalf("arrival %d regressed", i)
+		}
+	}
+	rate := float64(n) / got[n-1].Seconds()
+	if rate < 700 || rate > 1400 {
+		t.Fatalf("achieved rate %.0f/s, want ≈1000/s", rate)
+	}
+	// The modulation must actually swing: arrivals per half-period
+	// should differ markedly between peak and trough halves.
+	var peak, trough int
+	for _, at := range got {
+		phase := math.Mod(at.Seconds(), 1.0)
+		if phase < 0.5 {
+			peak++ // sin > 0: above-base rate
+		} else {
+			trough++
+		}
+	}
+	if peak < trough+n/10 {
+		t.Fatalf("peak half got %d, trough %d; diurnal swing missing", peak, trough)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := NewConstant(0); err == nil {
+		t.Error("constant rate 0 accepted")
+	}
+	if _, err := NewConstant(math.Inf(1)); err == nil {
+		t.Error("constant rate +Inf accepted")
+	}
+	if _, err := NewBursty(-1, 8, 1); err == nil {
+		t.Error("bursty rate -1 accepted")
+	}
+	if _, err := NewBursty(100, 0.5, 1); err == nil {
+		t.Error("burst mean 0.5 accepted")
+	}
+	if _, err := NewDiurnal(0, 0.5, time.Second, 1); err == nil {
+		t.Error("diurnal rate 0 accepted")
+	}
+	if _, err := NewDiurnal(100, 1.5, time.Second, 1); err == nil {
+		t.Error("diurnal depth 1.5 accepted")
+	}
+	if _, err := NewDiurnal(100, 0.5, 0, 1); err == nil {
+		t.Error("diurnal period 0 accepted")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	for _, kind := range []string{"constant", "bursty", "diurnal"} {
+		if _, err := ParseSchedule(kind, 100, 0, 0, 0, 1); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := ParseSchedule("lunar", 100, 0, 0, 0, 1); err == nil {
+		t.Error("unknown schedule kind accepted")
+	}
+	if _, err := ParseSchedule("constant", -5, 0, 0, 0, 1); err == nil {
+		t.Error("bad rate accepted through ParseSchedule")
+	}
+}
+
+func TestMixPick(t *testing.T) {
+	m := Mix{
+		{Name: "a", Weight: 3, Services: []string{"s"}},
+		{Name: "b", Weight: 1, Services: []string{"s"}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		c := m.Pick(99, i)
+		if c != m.Pick(99, i) {
+			t.Fatalf("pick %d not deterministic", i)
+		}
+		counts[c.Name]++
+	}
+	frac := float64(counts["a"]) / 4000
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("class a drew %.2f of picks, want ≈0.75", frac)
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	cases := []Mix{
+		{},
+		{{Name: "x", Weight: -1, Services: []string{"s"}}},
+		{{Name: "x", Weight: 1}},
+		{{Name: "x", Weight: 1, Services: []string{"s"}, Priority: -2}},
+		{{Name: "x", Weight: 0, Services: []string{"s"}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid mix accepted", i)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("")
+	if err != nil || len(m) != 3 {
+		t.Fatalf("empty spec: mix %v err %v, want 3-class default", m, err)
+	}
+	m, err = ParseMix("batch:0.6:work:0:0:dtol; rt:0.4:a+b:2:500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("got %d classes, want 2", len(m))
+	}
+	if !m[0].DTolerant || m[0].Deadline != 0 || m[0].Priority != 0 {
+		t.Fatalf("batch class parsed wrong: %+v", m[0])
+	}
+	if m[1].DTolerant || m[1].Deadline != 500*time.Millisecond || len(m[1].Services) != 2 {
+		t.Fatalf("rt class parsed wrong: %+v", m[1])
+	}
+	for _, bad := range []string{
+		"short:1:work",
+		"x:notnum:work:0",
+		"x:1:work:notnum",
+		"x:1:work:0:notdur",
+		"x:-1:work:0",
+	} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// fakeCaller scripts Aggregate outcomes by global call index.
+type fakeCaller struct {
+	mu sync.Mutex
+	n  int
+	fn func(i int, req netproto.AggRequest) (*netproto.AggResult, error)
+}
+
+func (f *fakeCaller) Aggregate(req netproto.AggRequest) (*netproto.AggResult, error) {
+	f.mu.Lock()
+	i := f.n
+	f.n++
+	f.mu.Unlock()
+	return f.fn(i, req)
+}
+
+func fastCfg(t *testing.T, requests int) Config {
+	t.Helper()
+	s, err := NewConstant(50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Schedule:     s,
+		ScheduleName: "constant",
+		RateRPS:      50000,
+		Mix:          Mix{{Name: "only", Weight: 1, Services: []string{"work"}, MinRate: 10}},
+		Requests:     requests,
+		// Above Requests so a slow test box can never overflow the open
+		// loop into drops here; TestRunnerOpenLoopDrops pins its own cap.
+		MaxInFlight: requests + 1,
+		Seed:        1,
+	}
+}
+
+func TestRunnerOutcomes(t *testing.T) {
+	fc := &fakeCaller{fn: func(i int, req netproto.AggRequest) (*netproto.AggResult, error) {
+		switch i % 3 {
+		case 0:
+			return &netproto.AggResult{OK: true, SessionID: "s"}, nil
+		case 1:
+			return &netproto.AggResult{Shed: true, RetryAfter: time.Millisecond}, nil
+		default:
+			return nil, errTest
+		}
+	}}
+	r, err := NewRunner(fastCfg(t, 90), fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run()
+	cs := rep.Classes["only"]
+	if cs == nil {
+		t.Fatal("class missing from report")
+	}
+	if cs.OK != 30 || cs.Shed != 30 || cs.Errors != 30 || cs.Sent != 90 {
+		t.Fatalf("outcomes ok=%d shed=%d err=%d sent=%d, want 30/30/30/90", cs.OK, cs.Shed, cs.Errors, cs.Sent)
+	}
+	if cs.Latency.Count != 30 {
+		t.Fatalf("latency count %d, want 30 (successes only)", cs.Latency.Count)
+	}
+	if rep.Total.Sent != 90 || rep.Total.OK != 30 {
+		t.Fatalf("total sent=%d ok=%d, want 90/30", rep.Total.Sent, rep.Total.OK)
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatalf("throughput %.1f, want > 0", rep.Throughput())
+	}
+	if (&Report{}).Throughput() != 0 {
+		t.Fatal("zero-wall report throughput not 0")
+	}
+}
+
+func TestRunnerOpenLoopDrops(t *testing.T) {
+	block := make(chan struct{})
+	fc := &fakeCaller{fn: func(i int, req netproto.AggRequest) (*netproto.AggResult, error) {
+		<-block
+		return &netproto.AggResult{OK: true}, nil
+	}}
+	cfg := fastCfg(t, 10)
+	cfg.MaxInFlight = 2
+	r, err := NewRunner(cfg, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Report, 1)
+	go func() { done <- r.Run() }()
+	// The arrival clock runs 50k/s: all 10 arrivals fire in ~200µs while
+	// both slots stay blocked, so 8 must be dropped, not delayed.
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	rep := <-done
+	cs := rep.Classes["only"]
+	if cs.OK != 2 || cs.Dropped != 8 {
+		t.Fatalf("ok=%d dropped=%d, want 2/8 (open loop must drop, not block)", cs.OK, cs.Dropped)
+	}
+}
+
+func TestRunnerShedRetry(t *testing.T) {
+	fc := &fakeCaller{fn: func(i int, req netproto.AggRequest) (*netproto.AggResult, error) {
+		if i == 0 {
+			return &netproto.AggResult{Shed: true, RetryAfter: 2 * time.Millisecond}, nil
+		}
+		return &netproto.AggResult{OK: true}, nil
+	}}
+	cfg := fastCfg(t, 1)
+	cfg.ShedRetries = 2
+	r, err := NewRunner(cfg, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Run()
+	cs := rep.Classes["only"]
+	if cs.OK != 1 || cs.Retries != 1 || cs.Shed != 0 {
+		t.Fatalf("ok=%d retries=%d shed=%d, want 1/1/0", cs.OK, cs.Retries, cs.Shed)
+	}
+}
+
+func TestRunnerRetryRespectsDeadline(t *testing.T) {
+	calls := 0
+	fc := &fakeCaller{fn: func(i int, req netproto.AggRequest) (*netproto.AggResult, error) {
+		calls++
+		return &netproto.AggResult{Shed: true, RetryAfter: time.Hour}, nil
+	}}
+	cfg := fastCfg(t, 1)
+	cfg.ShedRetries = 5
+	cfg.Mix[0].Deadline = 10 * time.Millisecond
+	r, err := NewRunner(cfg, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep := r.Run()
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("runner slept %v retrying past a 10ms deadline", took)
+	}
+	if calls != 1 || rep.Classes["only"].Shed != 1 {
+		t.Fatalf("calls=%d shed=%d, want 1/1 (hour-long hint past deadline)", calls, rep.Classes["only"].Shed)
+	}
+}
+
+func TestRunnerRetryFallbackBackoff(t *testing.T) {
+	fc := &fakeCaller{fn: func(i int, req netproto.AggRequest) (*netproto.AggResult, error) {
+		if i == 0 {
+			return &netproto.AggResult{Shed: true}, nil // no hint
+		}
+		return &netproto.AggResult{OK: true}, nil
+	}}
+	cfg := fastCfg(t, 1)
+	cfg.ShedRetries = 1
+	cfg.RetryBackoff = 2 * time.Millisecond
+	r, err := NewRunner(cfg, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := r.Run(); rep.Total.OK != 1 || rep.Total.Retries != 1 {
+		t.Fatalf("ok=%d retries=%d, want 1/1", rep.Total.OK, rep.Total.Retries)
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	good := fastCfg(t, 10)
+	fc := &fakeCaller{fn: func(int, netproto.AggRequest) (*netproto.AggResult, error) {
+		return &netproto.AggResult{OK: true}, nil
+	}}
+	if _, err := NewRunner(good, nil); err == nil {
+		t.Error("nil caller accepted")
+	}
+	bad := good
+	bad.Schedule = nil
+	if _, err := NewRunner(bad, fc); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	bad = good
+	bad.Requests = 0
+	if _, err := NewRunner(bad, fc); err == nil {
+		t.Error("0 requests accepted")
+	}
+	bad = good
+	bad.MaxInFlight = -1
+	if _, err := NewRunner(bad, fc); err == nil {
+		t.Error("negative in-flight accepted")
+	}
+	bad = good
+	bad.ShedRetries = -1
+	if _, err := NewRunner(bad, fc); err == nil {
+		t.Error("negative retries accepted")
+	}
+	bad = good
+	bad.Mix = nil
+	if _, err := NewRunner(bad, fc); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestMergeReports(t *testing.T) {
+	mk := func(okLat []float64, shed uint64) *Report {
+		c := newCollector()
+		for _, l := range okLat {
+			c.record("a", outcomeOK, l, 0)
+		}
+		for i := uint64(0); i < shed; i++ {
+			c.record("a", outcomeShed, 0, 1)
+		}
+		return c.snapshot("constant", 100, 2)
+	}
+	a := mk([]float64{0.010, 0.020}, 1)
+	b := mk([]float64{0.040}, 2)
+	m := MergeReports(a, b, nil)
+	if m.Total.OK != 3 || m.Total.Shed != 3 || m.Total.Retries != 3 {
+		t.Fatalf("merged ok=%d shed=%d retries=%d, want 3/3/3", m.Total.OK, m.Total.Shed, m.Total.Retries)
+	}
+	if m.RateRPS != 200 || m.WallSec != 2 {
+		t.Fatalf("rate=%g wall=%g, want 200/2 (rates add, walls max)", m.RateRPS, m.WallSec)
+	}
+	cs := m.Classes["a"]
+	if cs.Latency.Count != 3 {
+		t.Fatalf("merged latency count %d, want 3", cs.Latency.Count)
+	}
+	// Merged quantile is computed from combined buckets, not averaged:
+	// the max sits in the 40ms bucket (log buckets → midpoint ≤ a few %).
+	if p := cs.Latency.Quantile(1.0); math.Abs(p-0.040) > 0.004 {
+		t.Fatalf("merged p100 %.4f, want ≈0.040", p)
+	}
+	if m.Schedule != "constant" {
+		t.Fatalf("schedule %q, want constant", m.Schedule)
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "scripted failure" }

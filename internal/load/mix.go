@@ -1,0 +1,145 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Class is one request flavour in a workload mix, mirroring the
+// paper's ServiceRequest model: a service path with a rate floor, a
+// priority class, an optional completion deadline, and the
+// disruption-tolerance bit that lets the admission plane shed it
+// first under pressure.
+type Class struct {
+	Name      string
+	Weight    float64
+	Services  []string
+	MinRate   float64
+	Priority  int
+	Deadline  time.Duration // 0 = no deadline
+	DTolerant bool
+	Duration  time.Duration // session reservation length
+}
+
+// Mix is a weighted set of request classes.
+type Mix []Class
+
+// Validate rejects mixes the runner cannot sample from.
+func (m Mix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("load: empty mix")
+	}
+	total := 0.0
+	for i, c := range m {
+		if c.Weight < 0 {
+			return fmt.Errorf("load: class %d (%s) weight %g < 0", i, c.Name, c.Weight)
+		}
+		if len(c.Services) == 0 {
+			return fmt.Errorf("load: class %d (%s) has no services", i, c.Name)
+		}
+		if c.Priority < 0 {
+			return fmt.Errorf("load: class %d (%s) priority %d < 0", i, c.Name, c.Priority)
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("load: mix weights sum to %g (want > 0)", total)
+	}
+	return nil
+}
+
+// Pick selects the class for arrival i, deterministically in (seed, i):
+// the same seed replays the same per-request class assignment
+// regardless of completion timing.
+func (m Mix) Pick(seed uint64, i int) *Class {
+	total := 0.0
+	for _, c := range m {
+		total += c.Weight
+	}
+	h := xrand.MixIndex(seed, uint64(i))
+	// 53-bit mantissa slice of the hash → uniform in [0, 1).
+	u := float64(h>>11) / (1 << 53)
+	target := u * total
+	for j := range m {
+		target -= m[j].Weight
+		if target < 0 {
+			return &m[j]
+		}
+	}
+	return &m[len(m)-1]
+}
+
+// DefaultMix mirrors the serving benchmark's standing workload over
+// the stock two-provider "work" deployment: mostly best-effort
+// disruption-tolerant traffic, a band of interactive deadline-bound
+// requests, and a thin stream of critical flows that admission must
+// protect under overload.
+func DefaultMix() Mix {
+	return Mix{
+		{Name: "batch", Weight: 0.6, Services: []string{"work"}, MinRate: 10,
+			Priority: 0, DTolerant: true, Duration: time.Second},
+		{Name: "interactive", Weight: 0.3, Services: []string{"work"}, MinRate: 10,
+			Priority: 1, Deadline: 500 * time.Millisecond, Duration: time.Second},
+		{Name: "critical", Weight: 0.1, Services: []string{"work"}, MinRate: 10,
+			Priority: 3, Deadline: time.Second, Duration: time.Second},
+	}
+}
+
+// ParseMix decodes the qsaload -mix flag: semicolon-separated classes
+// of the form
+//
+//	name:weight:svc1+svc2:priority[:deadline[:dtol]]
+//
+// e.g. "batch:0.6:work:0:0:dtol;rt:0.4:work:2:500ms". An empty spec
+// yields DefaultMix.
+func ParseMix(spec string) (Mix, error) {
+	if strings.TrimSpace(spec) == "" {
+		return DefaultMix(), nil
+	}
+	var m Mix
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) < 4 {
+			return nil, fmt.Errorf("load: mix class %q: want name:weight:services:priority[:deadline[:dtol]]", part)
+		}
+		w, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: mix class %q: bad weight: %v", part, err)
+		}
+		prio, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("load: mix class %q: bad priority: %v", part, err)
+		}
+		c := Class{
+			Name:     f[0],
+			Weight:   w,
+			Services: strings.Split(f[2], "+"),
+			MinRate:  10,
+			Priority: prio,
+			Duration: time.Second,
+		}
+		if len(f) >= 5 && f[4] != "" && f[4] != "0" {
+			d, err := time.ParseDuration(f[4])
+			if err != nil {
+				return nil, fmt.Errorf("load: mix class %q: bad deadline: %v", part, err)
+			}
+			c.Deadline = d
+		}
+		if len(f) >= 6 {
+			c.DTolerant = f[5] == "dtol" || f[5] == "true" || f[5] == "1"
+		}
+		m = append(m, c)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,166 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Outcome labels in ClassStats counters.
+const (
+	outcomeOK      = "ok"
+	outcomeShed    = "shed"
+	outcomeError   = "error"
+	outcomeDropped = "dropped"
+)
+
+// ClassStats is the per-class slice of a load report. Latency is a
+// mergeable log-bucketed histogram of end-to-end completion times for
+// successful requests (including any shed-retry waits — the time the
+// caller actually experienced).
+type ClassStats struct {
+	Sent    uint64           `json:"sent"`
+	OK      uint64           `json:"ok"`
+	Shed    uint64           `json:"shed"`    // exhausted retries shed
+	Errors  uint64           `json:"errors"`  // transport or pipeline errors
+	Dropped uint64           `json:"dropped"` // arrivals past MaxInFlight, never sent
+	Retries uint64           `json:"retries"` // shed responses that were retried
+	Latency obs.LatencyValue `json:"latency"`
+}
+
+func (c *ClassStats) merge(o ClassStats) {
+	c.Sent += o.Sent
+	c.OK += o.OK
+	c.Shed += o.Shed
+	c.Errors += o.Errors
+	c.Dropped += o.Dropped
+	c.Retries += o.Retries
+	c.Latency = c.Latency.Merge(o.Latency)
+}
+
+// Report is the outcome of one open-loop run. Reports from independent
+// workers (or hosts) merge exactly: counters add and latency
+// histograms combine bucket-wise, so fleet-wide p99 is computed from
+// merged data, not averaged per-worker quantiles.
+type Report struct {
+	Schedule string                 `json:"schedule"`
+	RateRPS  float64                `json:"rate_rps"`
+	WallSec  float64                `json:"wall_sec"`
+	Classes  map[string]*ClassStats `json:"classes"`
+	Total    ClassStats             `json:"total"`
+}
+
+// Throughput is the achieved successful-completion rate in
+// requests/sec over the run's wall clock.
+func (r *Report) Throughput() float64 {
+	if r.WallSec <= 0 {
+		return 0
+	}
+	return float64(r.Total.OK) / r.WallSec
+}
+
+// MergeReports combines per-worker reports into one fleet view. Wall
+// time is the maximum (workers ran concurrently); everything else adds
+// or bucket-merges.
+func MergeReports(reports ...*Report) *Report {
+	out := &Report{Classes: map[string]*ClassStats{}}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if out.Schedule == "" {
+			out.Schedule = r.Schedule
+		}
+		out.RateRPS += r.RateRPS
+		if r.WallSec > out.WallSec {
+			out.WallSec = r.WallSec
+		}
+		for name, cs := range r.Classes {
+			tgt, ok := out.Classes[name]
+			if !ok {
+				tgt = &ClassStats{}
+				out.Classes[name] = tgt
+			}
+			tgt.merge(*cs)
+		}
+		out.Total.merge(r.Total)
+	}
+	return out
+}
+
+// collector accumulates outcomes during a run; Snapshot freezes it
+// into a Report. Safe for concurrent use by in-flight request
+// goroutines.
+type collector struct {
+	mu      sync.Mutex
+	classes map[string]*classAcc
+}
+
+type classAcc struct {
+	stats ClassStats
+	lat   *obs.LatencyHist
+}
+
+func newCollector() *collector {
+	return &collector{classes: map[string]*classAcc{}}
+}
+
+func (c *collector) acc(class string) *classAcc {
+	a, ok := c.classes[class]
+	if !ok {
+		a = &classAcc{lat: obs.NewLatencyHist()}
+		c.classes[class] = a
+	}
+	return a
+}
+
+func (c *collector) record(class, outcome string, latencySec float64, retries uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.acc(class)
+	a.stats.Retries += retries
+	switch outcome {
+	case outcomeOK:
+		a.stats.Sent++
+		a.stats.OK++
+		a.lat.Observe(latencySec)
+	case outcomeShed:
+		a.stats.Sent++
+		a.stats.Shed++
+	case outcomeError:
+		a.stats.Sent++
+		a.stats.Errors++
+	case outcomeDropped:
+		a.stats.Dropped++
+	default:
+		// lint:allow panic-in-library the outcome constants are package-private; an unknown one is a programming error
+		panic(fmt.Sprintf("load: unknown outcome %q", outcome))
+	}
+}
+
+func (c *collector) snapshot(schedule string, rate, wallSec float64) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := &Report{
+		Schedule: schedule,
+		RateRPS:  rate,
+		WallSec:  wallSec,
+		Classes:  make(map[string]*ClassStats, len(c.classes)),
+	}
+	names := make([]string, 0, len(c.classes))
+	for name := range c.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := c.classes[name]
+		cs := a.stats
+		cs.Latency = a.lat.SnapshotValue(name)
+		rep.Classes[name] = &cs
+		rep.Total.merge(cs)
+	}
+	rep.Total.Latency.Name = "total"
+	return rep
+}

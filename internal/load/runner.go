@@ -1,0 +1,161 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netproto"
+)
+
+// Caller issues one serving-plane aggregation. netproto.Client
+// satisfies it; tests substitute fakes.
+type Caller interface {
+	Aggregate(req netproto.AggRequest) (*netproto.AggResult, error)
+}
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Schedule drives the arrival clock. Required.
+	Schedule Schedule
+	// ScheduleName labels the report ("constant", "bursty", "diurnal").
+	ScheduleName string
+	// RateRPS is the schedule's nominal offered rate, recorded in the
+	// report for rate-vs-throughput comparison.
+	RateRPS float64
+	// Mix is the weighted request-class set. Required.
+	Mix Mix
+	// Requests is the number of arrivals to fire. Required.
+	Requests int
+	// MaxInFlight bounds concurrent outstanding requests. Open-loop
+	// discipline: an arrival that finds all slots busy is counted as
+	// dropped, never delayed — the arrival clock must not be backpressured
+	// by the system under test. Default 256.
+	MaxInFlight int
+	// ShedRetries is how many times a shed request is retried after
+	// waiting out the server's RetryAfter hint. Default 0 (sheds are
+	// final). Retries hold their in-flight slot, so overload converts
+	// into slot exhaustion rather than a retry storm.
+	ShedRetries int
+	// RetryBackoff is the wait before retrying a shed reply that carried
+	// no hint. Default 100ms.
+	RetryBackoff time.Duration
+	// Seed fixes the class-assignment hash (and is recorded so schedule
+	// seeds can be derived from it by callers).
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.ScheduleName == "" {
+		c.ScheduleName = "constant"
+	}
+}
+
+// Runner fires an open-loop request stream at one Caller.
+type Runner struct {
+	cfg    Config
+	caller Caller
+	col    *collector
+}
+
+// NewRunner validates cfg and binds it to a caller.
+func NewRunner(cfg Config, caller Caller) (*Runner, error) {
+	cfg.fillDefaults()
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("load: nil schedule")
+	}
+	if caller == nil {
+		return nil, fmt.Errorf("load: nil caller")
+	}
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("load: %d requests (want > 0)", cfg.Requests)
+	}
+	if cfg.MaxInFlight < 1 {
+		return nil, fmt.Errorf("load: max in-flight %d (want >= 1)", cfg.MaxInFlight)
+	}
+	if cfg.ShedRetries < 0 {
+		return nil, fmt.Errorf("load: shed retries %d (want >= 0)", cfg.ShedRetries)
+	}
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, caller: caller, col: newCollector()}, nil
+}
+
+// Run fires the configured arrivals and blocks until every in-flight
+// request resolves, then returns the run's report.
+func (r *Runner) Run() *Report {
+	start := time.Now()
+	slots := make(chan struct{}, r.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < r.cfg.Requests; i++ {
+		at := r.cfg.Schedule.Next()
+		if d := time.Until(start.Add(at)); d > 0 {
+			time.Sleep(d)
+		}
+		cls := r.cfg.Mix.Pick(r.cfg.Seed, i)
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func(cls *Class) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				r.one(cls)
+			}(cls)
+		default:
+			// Every slot holds an unfinished request: the system under test
+			// is behind the offered rate. Record the drop and keep the clock.
+			r.col.record(cls.Name, outcomeDropped, 0, 0)
+		}
+	}
+	wg.Wait()
+	return r.col.snapshot(r.cfg.ScheduleName, r.cfg.RateRPS, time.Since(start).Seconds())
+}
+
+// one drives a single request to a terminal outcome, honouring the
+// server's deterministic retry-after hints on shed replies.
+func (r *Runner) one(cls *Class) {
+	req := netproto.AggRequest{
+		Services:  cls.Services,
+		MinRate:   cls.MinRate,
+		Priority:  cls.Priority,
+		Deadline:  cls.Deadline.Seconds(),
+		DTolerant: cls.DTolerant,
+		Duration:  cls.Duration,
+	}
+	start := time.Now()
+	var retries uint64
+	for attempt := 0; ; attempt++ {
+		res, err := r.caller.Aggregate(req)
+		if err != nil {
+			r.col.record(cls.Name, outcomeError, 0, retries)
+			return
+		}
+		if res.OK {
+			r.col.record(cls.Name, outcomeOK, time.Since(start).Seconds(), retries)
+			return
+		}
+		if !res.Shed || attempt >= r.cfg.ShedRetries {
+			r.col.record(cls.Name, outcomeShed, 0, retries)
+			return
+		}
+		wait := res.RetryAfter
+		if wait <= 0 {
+			wait = r.cfg.RetryBackoff
+		}
+		if cls.Deadline > 0 && time.Since(start)+wait > cls.Deadline {
+			// Retrying past the deadline would only be shed again at the
+			// server; give up now.
+			r.col.record(cls.Name, outcomeShed, 0, retries)
+			return
+		}
+		retries++
+		time.Sleep(wait)
+	}
+}

@@ -1,0 +1,192 @@
+package netproto
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/resource"
+)
+
+// Batched probe/announcement gossip (DESIGN §14). Without it, keeping
+// N peers' availability fresh costs O(N) probe RPCs per peer per cache
+// TTL — the background traffic the paper's full-membership prototype
+// cannot afford at scale. With it, each peer sends ONE batch per
+// interval to a small fanout: its own announcement plus its freshest
+// cached measurements of others. Receivers use the batch to refresh
+// probe-cache entries they already measured directly (keeping their
+// own RTT — network quality is never taken on hearsay) and to learn
+// members they had not met, so the next aggregation skips that many
+// direct probes.
+
+// GossipConfig parameterizes the batched announcement plane.
+type GossipConfig struct {
+	// Interval between gossip rounds. 0 disables gossip entirely (the
+	// default — background traffic is opt-in).
+	Interval time.Duration
+	// Fanout is the number of members contacted per round. Default 2.
+	Fanout int
+	// Batch caps the announcements per message (self + cached
+	// measurements of others). Default 16.
+	Batch int
+}
+
+func (g *GossipConfig) fillDefaults() {
+	if g.Interval <= 0 {
+		return // disabled
+	}
+	if g.Fanout == 0 {
+		g.Fanout = 2
+	}
+	if g.Batch == 0 {
+		g.Batch = 16
+	}
+}
+
+// gossipLoop runs rounds until Close.
+func (p *Peer) gossipLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.Gossip.Interval)
+	defer ticker.Stop()
+	for round := 0; ; round++ {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+		}
+		p.gossipRound(round)
+	}
+}
+
+// gossipRound sends one announcement batch to Fanout members. Targets
+// rotate deterministically through the sorted membership, so every
+// member is refreshed within ⌈N/Fanout⌉ rounds — no randomized
+// coupon-collector tail.
+func (p *Peer) gossipRound(round int) {
+	members := p.Members()
+	if len(members) == 0 {
+		return
+	}
+	req := request{Type: msgGossip, Addr: p.addr, Anns: p.gossipAnns()}
+	fanout := p.cfg.Gossip.Fanout
+	if fanout > len(members) {
+		fanout = len(members)
+	}
+	for i := 0; i < fanout; i++ {
+		target := members[(round*fanout+i)%len(members)]
+		// Best effort, retried — gossip is idempotent, and a member that
+		// stays unreachable is aged out by the probe plane anyway.
+		_, _ = p.rpcRetry(target, req, p.cfg.RPCTimeout)
+	}
+	p.tele.gossipRound()
+}
+
+// gossipAnns assembles the outgoing batch: this peer's own fresh
+// announcement first, then the freshest live probe-cache entries,
+// oldest information dropped first when the batch cap binds.
+func (p *Peer) gossipAnns() []wireAnn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	batch := p.cfg.Gossip.Batch
+	anns := make([]wireAnn, 0, batch)
+	services := make([]string, 0, len(p.provides))
+	seen := make(map[string]bool, len(p.provides))
+	for _, in := range p.provides {
+		if !seen[string(in.Service)] {
+			seen[string(in.Service)] = true
+			services = append(services, string(in.Service))
+		}
+	}
+	sort.Strings(services)
+	avail := p.ledger.Available()
+	anns = append(anns, wireAnn{
+		Addr:      p.addr,
+		Avail:     []float64{avail[resource.CPU], avail[resource.Memory]},
+		UptimeSec: time.Since(p.start).Seconds(),
+		Services:  services,
+	})
+	type aged struct {
+		addr string
+		res  probeResult
+	}
+	cached := make([]aged, 0, len(p.probes))
+	for addr, res := range p.probes {
+		if res.alive {
+			cached = append(cached, aged{addr, res})
+		}
+	}
+	sort.Slice(cached, func(i, j int) bool {
+		if !cached[i].res.measured.Equal(cached[j].res.measured) {
+			return cached[i].res.measured.After(cached[j].res.measured)
+		}
+		return cached[i].addr < cached[j].addr
+	})
+	covered := make(map[string]bool, len(cached)+1)
+	covered[p.addr] = true
+	for _, c := range cached {
+		if len(anns) >= batch {
+			break
+		}
+		covered[c.addr] = true
+		anns = append(anns, wireAnn{
+			Addr:      c.addr,
+			Avail:     []float64{c.res.avail[resource.CPU], c.res.avail[resource.Memory]},
+			UptimeSec: c.res.uptime.Seconds(),
+			AgeSec:    time.Since(c.res.measured).Seconds(),
+		})
+	}
+	// Membership anti-entropy: members this peer has not measured ride
+	// along as bare announcements (address only), so a partially joined
+	// overlay converges on full membership without extra RPCs.
+	members := p.memberListLocked()
+	for _, m := range members {
+		if len(anns) >= batch {
+			break
+		}
+		if !covered[m] {
+			anns = append(anns, wireAnn{Addr: m})
+		}
+	}
+	return anns
+}
+
+// handleGossip ingests one announcement batch: unknown addresses join
+// the membership, and announcements about peers this node has already
+// probed refresh those cache entries when the gossiped measurement is
+// newer — keeping the directly measured RTT, which gossip cannot
+// speak for.
+func (p *Peer) handleGossip(req request) response {
+	now := time.Now()
+	p.mu.Lock()
+	learned, refreshed := 0, 0
+	learn := func(addr string) {
+		if addr != "" && addr != p.addr && !p.members[addr] {
+			p.members[addr] = true
+			learned++
+		}
+	}
+	learn(req.Addr)
+	for _, a := range req.Anns {
+		learn(a.Addr)
+		if a.Addr == p.addr || len(a.Avail) < 2 {
+			continue
+		}
+		cur, ok := p.probes[a.Addr]
+		if !ok || !cur.alive {
+			// Never measured (or last seen dead): first contact stays a
+			// direct probe, so liveness and RTT are always first-hand.
+			continue
+		}
+		measured := now.Add(-time.Duration(a.AgeSec * float64(time.Second)))
+		if !measured.After(cur.measured) {
+			continue
+		}
+		cur.avail = resource.Vec2(a.Avail[resource.CPU], a.Avail[resource.Memory])
+		cur.uptime = time.Duration(a.UptimeSec * float64(time.Second))
+		cur.measured = measured
+		p.probes[a.Addr] = cur
+		refreshed++
+	}
+	p.mu.Unlock()
+	p.tele.gossipBatch(learned, refreshed)
+	return response{OK: true}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strings"
@@ -78,6 +79,28 @@ type Config struct {
 	// request samples identically on every run. 0 means the default of
 	// 1 (trace everything the Tracer sees); ignored when Tracer is nil.
 	TraceSample float64
+	// Admit bounds concurrent aggregate serving (DESIGN §14). Zero
+	// Workers — the default — disables admission control entirely.
+	Admit AdmitConfig
+	// Gossip enables batched probe/announcement gossip: every Interval
+	// the peer sends one batch of cached measurements to Fanout members,
+	// amortizing background freshness traffic to O(1) datagrams per
+	// interval. Zero Interval — the default — disables it.
+	Gossip GossipConfig
+	// PoolConns controls TCP connection reuse for outgoing RPCs: 0
+	// (default) pools up to 2 idle connections per target when this
+	// peer uses the default TCP transport; > 0 sets that per-target
+	// cap explicitly (also on injected transports); -1 disables
+	// pooling and dials per exchange.
+	PoolConns int
+	// Compress enables flate compression of outgoing binary bodies of
+	// at least CompressMin bytes (default wire.DefaultCompressMin) and
+	// advertises decompression support to servers. Decoding compressed
+	// frames always works; this only gates encoding.
+	Compress bool
+	// CompressMin overrides the compression threshold when Compress is
+	// set. 0 means wire.DefaultCompressMin.
+	CompressMin int
 }
 
 func (c *Config) fillDefaults() {
@@ -104,6 +127,8 @@ func (c *Config) fillDefaults() {
 		c.TraceSample = 1
 	}
 	c.Wire.fillDefaults()
+	c.Admit.fillDefaults()
+	c.Gossip.fillDefaults()
 	if c.Transport == nil && c.Network != "udp" {
 		// The UDP default is built in Start, where the telemetry handle
 		// exists to plumb into the transport.
@@ -150,6 +175,18 @@ func (c Config) Validate() error {
 	}
 	if c.Retry.BaseDelay < 0 || c.Retry.MaxDelay < 0 {
 		return fmt.Errorf("netproto: negative retry backoff")
+	}
+	if c.Admit.Workers < 0 || c.Admit.MaxQueue < 0 || c.Admit.RetryAfter < 0 {
+		return fmt.Errorf("netproto: negative admission bounds")
+	}
+	if c.Gossip.Interval < 0 || c.Gossip.Fanout < 0 || c.Gossip.Batch < 0 {
+		return fmt.Errorf("netproto: negative gossip parameters")
+	}
+	if c.PoolConns < -1 {
+		return fmt.Errorf("netproto: PoolConns %d (want >= -1)", c.PoolConns)
+	}
+	if c.CompressMin < 0 {
+		return fmt.Errorf("netproto: negative CompressMin %d", c.CompressMin)
 	}
 	return nil
 }
@@ -204,7 +241,8 @@ type Peer struct {
 	start time.Time
 
 	mu        sync.Mutex
-	members   map[string]bool // other peers' addresses
+	conns     map[net.Conn]bool // open server-side connections
+	members   map[string]bool   // other peers' addresses
 	provides  map[string]*service.Instance
 	ledger    *resource.Ledger
 	sessions  map[string]resource.Vector // sessionID -> held reservation
@@ -218,12 +256,16 @@ type Peer struct {
 	spans    *obs.Spans // nil when Config.Tracer is nil
 	spanSalt uint64     // TraceSample decision salt
 
+	admit *admission // nil when admission control is disabled
+	pool  *connPool  // nil when connection pooling is disabled
+
 	done chan struct{} // closed on Close; stops session monitors
 	wg   sync.WaitGroup
 }
 
 // Start launches a peer listening on cfg.Listen.
 func Start(cfg Config) (*Peer, error) {
+	injectedTransport := cfg.Transport != nil
 	cfg.fillDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -241,6 +283,15 @@ func Start(cfg Config) (*Peer, error) {
 	if cfg.Metrics != nil {
 		cfg.Transport = NewMeteredTransport(cfg.Transport, cfg.Metrics)
 	}
+	// Connection pooling sits outermost so a reuse skips the metered
+	// dial entirely. UDP conns are one message each, so the default
+	// only pools the plain-TCP configuration; an explicit PoolConns > 0
+	// also pools injected (e.g. fault-wrapped) transports.
+	var pool *connPool
+	if cfg.PoolConns > 0 || (cfg.PoolConns == 0 && !injectedTransport && cfg.Network == "tcp") {
+		pool = newConnPool(cfg.Transport, tele.wireTele(), cfg.PoolConns, cfg.RPCTimeout*4)
+		cfg.Transport = pool
+	}
 	ledger, err := resource.NewLedger(resource.Vec2(cfg.CPU, cfg.Memory))
 	if err != nil {
 		return nil, err
@@ -255,6 +306,13 @@ func Start(cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	bin := wire.NewBinary()
+	if cfg.Compress {
+		min := cfg.CompressMin
+		if min == 0 {
+			min = wire.DefaultCompressMin
+		}
+		bin.SetCompression(min)
+	}
 	var codec wire.Codec = wire.JSON{}
 	if cfg.Codec == "binary" {
 		codec = bin
@@ -266,6 +324,7 @@ func Start(cfg Config) (*Peer, error) {
 		ln:        ln,
 		addr:      ln.Addr().String(),
 		start:     time.Now(),
+		conns:     make(map[net.Conn]bool),
 		members:   make(map[string]bool),
 		provides:  make(map[string]*service.Instance),
 		ledger:    ledger,
@@ -279,9 +338,17 @@ func Start(cfg Config) (*Peer, error) {
 		// collide while a fixed topology stays reproducible.
 		spans:    obs.NewSpans(cfg.Tracer, xrand.MixString(0x51534153, ln.Addr().String())),
 		spanSalt: xrand.MixString(0x53414d50, ln.Addr().String()),
+		pool:     pool,
+	}
+	if cfg.Admit.Workers > 0 {
+		p.admit = newAdmission(cfg.Admit, p.done, tele)
 	}
 	p.wg.Add(1)
 	go p.serve()
+	if cfg.Gossip.Interval > 0 {
+		p.wg.Add(1)
+		go p.gossipLoop()
+	}
 	return p, nil
 }
 
@@ -330,10 +397,23 @@ func (p *Peer) Close() error {
 		return nil
 	}
 	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
 	p.mu.Unlock()
 	close(p.done)
 	err := p.ln.Close()
+	// Sever open server connections: a handler blocked reading the next
+	// exchange of a pooled client connection unblocks immediately
+	// instead of idling out its deadline.
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	p.wg.Wait()
+	if p.pool != nil {
+		p.pool.Close()
+	}
 	return err
 }
 
@@ -420,7 +500,10 @@ func (p *Peer) ActiveSessions() int {
 	return len(p.sessions)
 }
 
-// serve accepts connections until Close.
+// serve accepts connections until Close. Connections are tracked so
+// shutdown can sever ones parked between exchanges by a pooling
+// client — their handler goroutines would otherwise idle in a read
+// until the connection deadline.
 func (p *Peer) serve() {
 	defer p.wg.Done()
 	for {
@@ -428,10 +511,23 @@ func (p *Peer) serve() {
 		if err != nil {
 			return
 		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		p.conns[conn] = true
+		p.mu.Unlock()
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			defer conn.Close()
+			defer func() {
+				p.mu.Lock()
+				delete(p.conns, conn)
+				p.mu.Unlock()
+				_ = conn.Close()
+			}()
 			p.handle(conn)
 		}()
 	}
@@ -439,7 +535,9 @@ func (p *Peer) serve() {
 
 func (p *Peer) handle(conn net.Conn) {
 	// Generous deadline: a select request recurses through the remaining
-	// hops before this handler can answer.
+	// hops before this handler can answer. Both codec loops refresh it
+	// per exchange, so a pooled client connection stays serviceable
+	// between requests without ever being deadline-free.
 	if err := conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout * 16)); err != nil {
 		// The connection is already dead; nothing can be sent on it.
 		return
@@ -447,7 +545,8 @@ func (p *Peer) handle(conn net.Conn) {
 	// Codec negotiation is the first byte: '{' opens a JSON object, a
 	// binary frame opens with the wire magic. The reply always uses the
 	// request's codec, so mixed-codec overlays interoperate and a JSON
-	// rollback needs no flag day.
+	// rollback needs no flag day. The choice is per connection: clients
+	// never switch codecs mid-stream.
 	br := bufio.NewReaderSize(conn, 64<<10)
 	first, err := br.Peek(1)
 	if err != nil {
@@ -463,18 +562,30 @@ func (p *Peer) handle(conn net.Conn) {
 	p.handleJSON(conn, br)
 }
 
+// handleJSON serves newline-delimited JSON exchanges until the client
+// hangs up (one decoder for the connection: it reads ahead, so
+// re-creating it per exchange would lose buffered bytes).
 func (p *Peer) handleJSON(conn net.Conn, br *bufio.Reader) {
 	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(br)
-	var req request
-	if err := dec.Decode(&req); err != nil {
-		// Surface malformed requests to the caller instead of silently
-		// dropping the connection (best effort: the encode itself can
-		// fail if the peer hung up mid-request).
-		_ = enc.Encode(response{Err: fmt.Sprintf("bad request: %v", err)})
-		return
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				// Surface malformed requests to the caller instead of
+				// silently dropping the connection (best effort: the encode
+				// itself can fail if the peer hung up mid-request).
+				_ = enc.Encode(response{Err: fmt.Sprintf("bad request: %v", err)})
+			}
+			return
+		}
+		if err := enc.Encode(p.dispatch(req)); err != nil {
+			return
+		}
+		if err := conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout * 16)); err != nil {
+			return
+		}
 	}
-	_ = enc.Encode(p.dispatch(req))
 }
 
 // reqPool recycles server-side request structs: the binary decoder
@@ -482,31 +593,50 @@ func (p *Peer) handleJSON(conn net.Conn, br *bufio.Reader) {
 // without allocating.
 var reqPool = sync.Pool{New: func() any { return new(request) }}
 
+// handleBinary serves framed binary exchanges until the stream ends —
+// one message for a datagram connection, many for a pooled TCP one.
 func (p *Peer) handleBinary(conn net.Conn, br *bufio.Reader) {
 	buf := wire.GetBuf(512)
 	defer wire.PutBuf(buf)
-	var err error
-	buf.B, err = wire.ReadFrame(br, buf.B)
-	if err != nil {
-		// Unframeable bytes carry no request ID to correlate an error
-		// reply with; drop the exchange.
-		return
-	}
 	req := reqPool.Get().(*request)
-	reqID, err := p.bin.DecodeRequest(buf.B, req)
-	var resp response
-	if err != nil {
-		resp = response{Err: fmt.Sprintf("bad request: %v", err)}
-	} else {
-		resp = p.dispatch(*req)
+	// Handlers copy what they keep, so the request can be recycled when
+	// the connection ends (the decoder reuses its slice capacity across
+	// the exchanges in between).
+	defer reqPool.Put(req)
+	for {
+		var err error
+		buf.B, err = wire.ReadFrame(br, buf.B)
+		if err != nil {
+			// Unframeable bytes carry no request ID to correlate an error
+			// reply with; drop the exchange. A clean EOF is the client
+			// closing (or parking) the connection.
+			return
+		}
+		// The reply may be flate-compressed only when this client
+		// advertised it can inflate (satellite: flag-negotiated
+		// compression, never sprung on an old peer).
+		compressOK := false
+		if flags, ok := wire.MessageFlags(buf.B); ok {
+			compressOK = flags&wire.FlagCompressOK != 0
+		}
+		reqID, err := p.bin.DecodeRequest(buf.B, req)
+		var resp response
+		if err != nil {
+			resp = response{Err: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = p.dispatch(*req)
+		}
+		buf.B, err = p.bin.AppendResponseNegotiated(buf.B[:0], reqID, &resp, compressOK)
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(buf.B); err != nil {
+			return
+		}
+		if err := conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout * 16)); err != nil {
+			return
+		}
 	}
-	buf.B, err = p.bin.AppendResponse(buf.B[:0], reqID, &resp)
-	if err == nil {
-		_, _ = conn.Write(buf.B)
-	}
-	// Handlers copy what they keep, so the request can be recycled once
-	// the response is on the wire.
-	reqPool.Put(req)
 }
 
 func (p *Peer) dispatch(req request) response {
@@ -525,6 +655,10 @@ func (p *Peer) dispatch(req request) response {
 		return p.handleReserve(req)
 	case msgRelease:
 		return p.handleRelease(req)
+	case msgAggregate:
+		return p.handleAggregate(req)
+	case msgGossip:
+		return p.handleGossip(req)
 	default:
 		return response{Err: fmt.Sprintf("unknown message %q", req.Type)}
 	}
@@ -601,6 +735,50 @@ func (p *Peer) handleReserve(req request) response {
 func (p *Peer) handleRelease(req request) response {
 	p.releaseSession(req.SessionID)
 	return response{OK: true}
+}
+
+// handleAggregate serves one remote aggregation request (the serving
+// plane of DESIGN §14): the whole discover→compose→select→reserve
+// pipeline runs on this peer on the client's behalf, gated by
+// admission control when configured. A shed reply carries Shed plus a
+// deterministic RetryAfterSec so the client backs off instead of
+// hammering an overloaded peer; a shed request never reaches the
+// pipeline, so it can never hold a reservation.
+func (p *Peer) handleAggregate(req request) response {
+	if len(req.Services) == 0 {
+		return response{Err: "aggregate: no services"}
+	}
+	start := time.Now()
+	if p.admit != nil {
+		v := p.admit.acquire(req.Priority, req.DTolerant,
+			time.Duration(req.Deadline*float64(time.Second)))
+		if !v.run {
+			p.tele.serveShed(v.reason)
+			return response{Err: "shed: " + v.reason, Shed: true,
+				RetryAfterSec: v.retryAfter.Seconds()}
+		}
+		defer p.admit.release()
+		p.tele.serveAdmitted()
+		if v.waited > 0 {
+			p.tele.serveWaited(v.waited.Seconds())
+		}
+	}
+	path := make([]service.Name, len(req.Services))
+	for i, s := range req.Services {
+		path[i] = service.Name(s)
+	}
+	// The request's rate floor becomes the user QoS vector, matching
+	// the convention the closed-loop tests and qsapeer use.
+	userQoS, err := qos.NewVector(qos.Range("rate", req.MinRate, 1e9))
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	plan, err := p.Aggregate(path, userQoS, time.Duration(req.DurationSec*float64(time.Second)))
+	p.tele.served(req.Priority, time.Since(start).Seconds())
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	return response{OK: true, SessionID: plan.SessionID, Chain: plan.Peers, Cost: plan.Cost}
 }
 
 func (p *Peer) releaseSession(sid string) {

@@ -41,6 +41,7 @@ package netproto
 import (
 	"bufio"
 	"fmt"
+	"net"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +67,7 @@ type (
 	request  = wire.Request
 	response = wire.Response
 	offer    = wire.Offer
+	wireAnn  = wire.Ann
 )
 
 // Message types.
@@ -77,6 +79,9 @@ const (
 	msgSelect  = wire.TypeSelect
 	msgReserve = wire.TypeReserve
 	msgRelease = wire.TypeRelease
+	// Serving plane (DESIGN §14).
+	msgAggregate = wire.TypeAggregate
+	msgGossip    = wire.TypeGossip
 )
 
 func toWireParams(v qos.Vector) []WireParam {
@@ -185,6 +190,7 @@ func rpcWith(tr Transport, codec wire.Codec, wt *wireTele, addr string, req requ
 		if err := readJSONResponse(br, &resp, wt, req.Type); err != nil {
 			return nil, err
 		}
+		markReusable(conn)
 	} else {
 		var frame []byte
 		if mc, ok := conn.(messageConn); ok {
@@ -207,11 +213,22 @@ func rpcWith(tr Transport, codec wire.Codec, wt *wireTele, addr string, req requ
 			return nil, fmt.Errorf("netproto: response correlation mismatch (%d != %d)", gotID, reqID)
 		}
 		wt.message(req.Type, len(frame), true)
+		markReusable(conn)
 	}
 	if !resp.OK {
 		return &resp, fmt.Errorf("netproto: %s failed at %s: %s", req.Type, addr, resp.Err)
 	}
 	return &resp, nil
+}
+
+// markReusable tells a pooled connection (see connPool) the exchange
+// completed cleanly — the stream is still message-aligned, so Close
+// may park it for reuse instead of tearing it down. A plain net.Conn
+// ignores this.
+func markReusable(conn net.Conn) {
+	if rc, ok := conn.(interface{ Reusable() }); ok {
+		rc.Reusable()
+	}
 }
 
 // readJSONResponse reads one newline-delimited JSON reply. Split out

@@ -1,0 +1,486 @@
+package netproto
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// servingCluster starts a serving peer (admission-controlled, metered)
+// plus workers providing "work", all joined.
+func servingCluster(t *testing.T, admit AdmitConfig, reg *obs.Registry) (*Peer, []*Peer) {
+	t.Helper()
+	srv, err := Start(Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100,
+		RPCTimeout: 2 * time.Second, Admit: admit, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	workers := make([]*Peer, 2)
+	for i := range workers {
+		w, err := Start(Config{Listen: "127.0.0.1:0", CPU: 100, Memory: 100,
+			RPCTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		if err := w.Join(srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Provide(inst(fmt.Sprintf("work#%d", i), "work", "A", "B", 5, 50)); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	return srv, workers
+}
+
+// TestServingAggregateRPC drives the aggregate RPC end to end over
+// both codecs: a remote client asks the serving peer to run the whole
+// pipeline and gets back a session.
+func TestServingAggregateRPC(t *testing.T) {
+	srv, workers := servingCluster(t, AdmitConfig{Workers: 2}, nil)
+	for _, codec := range []string{"json", "binary"} {
+		cl, err := NewClient(ClientConfig{Target: srv.Addr(), Codec: codec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Aggregate(AggRequest{Services: []string{"work"}, MinRate: 10,
+			Priority: 1, Duration: 200 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if !res.OK || res.SessionID == "" || len(res.Chain) != 1 {
+			t.Fatalf("%s: result %+v", codec, res)
+		}
+		hosts := map[string]bool{workers[0].Addr(): true, workers[1].Addr(): true}
+		if !hosts[res.Chain[0]] {
+			t.Fatalf("%s: work hosted on non-provider %s", codec, res.Chain[0])
+		}
+		cl.Close()
+	}
+}
+
+// TestServingShedNeverReserves is the chaos-suite assertion for
+// admission: under an overload where most requests shed, every shed
+// reply left zero reservations behind, and admitted + shed accounts
+// for every request.
+func TestServingShedNeverReserves(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, workers := servingCluster(t, AdmitConfig{Workers: 1, MaxQueue: 1,
+		RetryAfter: 50 * time.Millisecond}, reg)
+	const n = 12
+	results := make([]*AggResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := NewClient(ClientConfig{Target: srv.Addr(), Codec: "binary"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			res, err := cl.Aggregate(AggRequest{Services: []string{"work"}, MinRate: 10,
+				Priority: i % 3, DTolerant: i%2 == 0, Duration: 100 * time.Millisecond})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	okCount, shedCount := 0, 0
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		switch {
+		case res.OK:
+			okCount++
+		case res.Shed:
+			shedCount++
+			if res.RetryAfter <= 0 {
+				t.Errorf("request %d shed without a retry-after hint: %+v", i, res)
+			}
+			if !strings.HasPrefix(res.Err, "shed: ") {
+				t.Errorf("request %d shed with error %q", i, res.Err)
+			}
+		default:
+			t.Errorf("request %d neither admitted nor shed: %+v", i, res)
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no request was admitted")
+	}
+	snap := reg.Snapshot()
+	admitted := snapCounter(t, snap, "serve.admitted")
+	var shed uint64
+	for _, r := range shedReasons {
+		shed += snapCounter(t, snap, "serve.shed."+r)
+	}
+	if admitted != uint64(okCount) {
+		t.Errorf("serve.admitted = %d, want %d", admitted, okCount)
+	}
+	if shed != uint64(shedCount) {
+		t.Errorf("serve.shed.* = %d, want %d", shed, shedCount)
+	}
+	// The chaos invariant: once admitted sessions expire, no peer holds
+	// a reservation a shed request could have leaked.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		held := srv.ActiveSessions()
+		for _, w := range workers {
+			held += w.ActiveSessions()
+		}
+		if held == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d reservations still held after all sessions expired", held)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func snapCounter(t *testing.T, snap obs.Snapshot, name string) uint64 {
+	t.Helper()
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// TestServingRetryAfterDeterministic pins the backpressure contract:
+// against a known queue state, every shed reply carries exactly
+// base × (1 + queue length) — the deterministic hint clients key
+// their backoff on.
+func TestServingRetryAfterDeterministic(t *testing.T) {
+	srv, _ := servingCluster(t, AdmitConfig{Workers: 1, MaxQueue: 1,
+		RetryAfter: 200 * time.Millisecond}, nil)
+	// Hold the single worker slot and fill the one queue slot with a
+	// parked waiter of equal priority: every later equal-priority
+	// arrival (younger, so first to shed) now sheds against queue
+	// length 1, so the hint must be exactly 2 × base.
+	if v := srv.admit.acquire(9, false, 0); !v.run {
+		t.Fatalf("test could not occupy the worker slot: %+v", v)
+	}
+	defer srv.admit.release()
+	parked := make(chan admitVerdict, 1)
+	go func() { parked <- srv.admit.acquire(1, false, 0) }()
+	waitForDepth(t, srv.admit, 1)
+	cl, err := NewClient(ClientConfig{Target: srv.Addr(), Codec: "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		res, err := cl.Aggregate(AggRequest{Services: []string{"work"}, Priority: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Shed {
+			t.Fatalf("attempt %d not shed: %+v", i, res)
+		}
+		if res.RetryAfter != 400*time.Millisecond {
+			t.Fatalf("attempt %d: retry-after %v, want exactly 400ms (2 x base)", i, res.RetryAfter)
+		}
+	}
+}
+
+// TestAdmissionPriorityEviction: a full queue sheds in priority order —
+// a high-priority arrival evicts the parked low-priority waiter, never
+// the other way around.
+func TestAdmissionPriorityEviction(t *testing.T) {
+	a := newAdmission(AdmitConfig{Workers: 1, MaxQueue: 1, RetryAfter: 10 * time.Millisecond},
+		make(chan struct{}), nil)
+	if v := a.acquire(1, false, 0); !v.run {
+		t.Fatalf("first acquire parked: %+v", v)
+	}
+	low := make(chan admitVerdict, 1)
+	go func() { low <- a.acquire(0, true, 0) }()
+	waitForDepth(t, a, 1)
+	// Low-priority arrival against a full queue holding the tolerant
+	// low-priority waiter: the ARRIVAL sheds (it is younger).
+	if v := a.acquire(0, true, 0); v.run || v.reason != shedQueueFull {
+		t.Fatalf("younger equal arrival: %+v, want queue_full shed", v)
+	}
+	// High-priority arrival evicts the parked waiter instead.
+	high := make(chan admitVerdict, 1)
+	go func() { high <- a.acquire(2, false, 0) }()
+	v := <-low
+	if v.run || v.reason != shedEvicted {
+		t.Fatalf("low-priority waiter: %+v, want evicted shed", v)
+	}
+	a.release() // hand the slot to the high-priority waiter
+	if v := <-high; !v.run {
+		t.Fatalf("high-priority waiter shed: %+v", v)
+	}
+	a.release()
+	if a.q.Active() != 0 || a.q.QueueLen() != 0 {
+		t.Fatalf("queue not drained: active %d queued %d", a.q.Active(), a.q.QueueLen())
+	}
+}
+
+// TestAdmissionDeadlineShedOnDequeue: a waiter whose latency budget
+// expired while parked is shed at dequeue instead of wasting the slot.
+func TestAdmissionDeadlineShedOnDequeue(t *testing.T) {
+	a := newAdmission(AdmitConfig{Workers: 1, MaxQueue: 2, RetryAfter: 10 * time.Millisecond},
+		make(chan struct{}), nil)
+	a.acquire(0, false, 0)
+	expired := make(chan admitVerdict, 1)
+	go func() { expired <- a.acquire(0, false, time.Millisecond) }()
+	waitForDepth(t, a, 1)
+	fresh := make(chan admitVerdict, 1)
+	go func() { fresh <- a.acquire(0, false, time.Minute) }()
+	waitForDepth(t, a, 2)
+	time.Sleep(20 * time.Millisecond) // let the first waiter's budget lapse
+	a.release()
+	if v := <-expired; v.run || v.reason != shedDeadline {
+		t.Fatalf("expired waiter: %+v, want deadline shed", v)
+	}
+	// The slot fell through to the still-fresh waiter in the same
+	// release call.
+	if v := <-fresh; !v.run {
+		t.Fatalf("fresh waiter: %+v, want run", v)
+	}
+}
+
+// TestAdmissionShutdownUnparks: closing the peer's done channel frees
+// every parked waiter with a shutdown shed instead of hanging them.
+func TestAdmissionShutdownUnparks(t *testing.T) {
+	done := make(chan struct{})
+	a := newAdmission(AdmitConfig{Workers: 1, MaxQueue: 2, RetryAfter: 10 * time.Millisecond},
+		done, nil)
+	a.acquire(0, false, 0)
+	parked := make(chan admitVerdict, 1)
+	go func() { parked <- a.acquire(1, false, 0) }()
+	waitForDepth(t, a, 1)
+	close(done)
+	select {
+	case v := <-parked:
+		if v.run || v.reason != shedShutdown {
+			t.Fatalf("parked waiter on shutdown: %+v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked waiter still hung after shutdown")
+	}
+}
+
+func waitForDepth(t *testing.T, a *admission, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		a.mu.Lock()
+		n := a.q.QueueLen()
+		a.mu.Unlock()
+		if n == depth {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d, want %d", n, depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionFastPathAllocs is the ci-gated zero-allocation check on
+// the netproto admission wrapper: an uncontended acquire/release —
+// the steady state below the overload knee — touches no heap.
+func TestAdmissionFastPathAllocs(t *testing.T) {
+	a := newAdmission(AdmitConfig{Workers: 4, MaxQueue: 8, RetryAfter: 10 * time.Millisecond},
+		make(chan struct{}), nil)
+	per := testing.AllocsPerRun(1000, func() {
+		v := a.acquire(1, false, 0)
+		if !v.run {
+			t.Fatal("uncontended acquire parked")
+		}
+		a.release()
+	})
+	if per != 0 {
+		t.Fatalf("admission fast path allocates %.1f times per request", per)
+	}
+}
+
+// TestConnPoolReuse: sequential RPCs to the same peer reuse one pooled
+// connection — dials stay flat while reuses climb.
+func TestConnPoolReuse(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, _ := servingCluster(t, AdmitConfig{}, nil)
+	cl, err := NewClient(ClientConfig{Target: srv.Addr(), Codec: "binary", Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Aggregate(AggRequest{Services: []string{"work"}, MinRate: 10,
+			Duration: 50 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	dials := snapCounter(t, snap, "wire.conn_dials")
+	reuses := snapCounter(t, snap, "wire.conn_reuses")
+	if dials != 1 {
+		t.Errorf("wire.conn_dials = %d, want 1 (one connection for all requests)", dials)
+	}
+	if reuses != 4 {
+		t.Errorf("wire.conn_reuses = %d, want 4", reuses)
+	}
+	if cl.pool.idleCount(srv.Addr()) != 1 {
+		t.Errorf("idle pool holds %d conns, want 1", cl.pool.idleCount(srv.Addr()))
+	}
+}
+
+// transportFunc adapts a function to the Transport interface (tests).
+type transportFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+func (f transportFunc) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return f(addr, timeout)
+}
+
+// TestConnPoolExpiry: a connection idling past the pool TTL is torn
+// down, not handed out.
+func TestConnPoolExpiry(t *testing.T) {
+	dialed := 0
+	tr := transportFunc(func(addr string, timeout time.Duration) (net.Conn, error) {
+		dialed++
+		c1, c2 := net.Pipe()
+		go func() { // sink: swallow whatever the exchange writes
+			buf := make([]byte, 1024)
+			for {
+				if _, err := c2.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		return c1, nil
+	})
+	pool := newConnPool(tr, nil, 1, 10*time.Millisecond)
+	conn, err := pool.Dial("x", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markReusable(conn)
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.idleCount("x") != 1 {
+		t.Fatalf("idle count %d, want 1", pool.idleCount("x"))
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := pool.Dial("x", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dialed != 2 {
+		t.Fatalf("dialed %d times, want 2 (expired conn must not be reused)", dialed)
+	}
+	pool.Close()
+}
+
+// TestGossipPropagatesMembership: with gossip on, a peer that only
+// ever met the bootstrap learns the rest of the overlay from gossip
+// batches, and announcements refresh already-probed cache entries.
+func TestGossipPropagatesMembership(t *testing.T) {
+	reg := obs.NewRegistry()
+	gossip := GossipConfig{Interval: 20 * time.Millisecond, Fanout: 2, Batch: 8}
+	a, err := Start(Config{Listen: "127.0.0.1:0", CPU: 10, Memory: 10, Gossip: gossip, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Start(Config{Listen: "127.0.0.1:0", CPU: 10, Memory: 10, Gossip: gossip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// c joins through b only: it learns a's address via gossip alone
+	// (Join announces to the members c knows — just b).
+	c, err := Start(Config{Listen: "127.0.0.1:0", CPU: 10, Memory: 10, Gossip: gossip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Join(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		members := c.Members()
+		if len(members) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("c still only knows %v", members)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// a's gossip counters moved: it sent rounds and ingested batches.
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		snap := reg.Snapshot()
+		if snapCounter(t, snap, "gossip.rounds_sent") > 0 &&
+			snapCounter(t, snap, "gossip.batches_recv") > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip counters never moved")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGossipRefreshKeepsRTT: a gossiped announcement about an
+// already-probed peer refreshes availability and measurement time but
+// never overwrites the directly measured RTT.
+func TestGossipRefreshKeepsRTT(t *testing.T) {
+	p, err := Start(Config{Listen: "127.0.0.1:0", CPU: 10, Memory: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	stale := time.Now().Add(-10 * time.Second)
+	p.mu.Lock()
+	p.probes["10.9.9.9:1"] = probeResult{alive: true, rtt: 7 * time.Millisecond,
+		uptime: time.Second, measured: stale}
+	p.mu.Unlock()
+	resp := p.handleGossip(request{Type: msgGossip, Addr: "10.0.0.2:1", Anns: []wireAnn{
+		{Addr: "10.9.9.9:1", Avail: []float64{4, 4}, UptimeSec: 11, AgeSec: 0.5},
+		{Addr: "10.8.8.8:1", Avail: []float64{1, 1}, UptimeSec: 2}, // never probed: learned only
+	}})
+	if !resp.OK {
+		t.Fatalf("gossip rejected: %+v", resp)
+	}
+	p.mu.Lock()
+	got := p.probes["10.9.9.9:1"]
+	_, neverProbed := p.probes["10.8.8.8:1"]
+	members := len(p.members)
+	p.mu.Unlock()
+	if got.rtt != 7*time.Millisecond {
+		t.Errorf("gossip overwrote the measured RTT: %v", got.rtt)
+	}
+	if got.avail[0] != 4 || got.uptime != 11*time.Second {
+		t.Errorf("gossip did not refresh availability: %+v", got)
+	}
+	if !got.measured.After(stale) {
+		t.Error("gossip did not advance the measurement time")
+	}
+	if neverProbed {
+		t.Error("gossip minted a probe entry for a peer never probed directly")
+	}
+	if members != 3 {
+		t.Errorf("learned %d members, want 3 (sender + two announced)", members)
+	}
+}

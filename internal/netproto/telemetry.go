@@ -63,10 +63,26 @@ type peerTele struct {
 
 	compose obs.ComposeCounters
 
+	// Serving plane (DESIGN §14): admission outcomes, queue wait, and
+	// end-to-end serve latency split by clamped priority class.
+	serveAdmit *obs.Counter            // serve.admitted
+	serveSheds map[string]*obs.Counter // serve.shed.<reason>
+	serveWait  *obs.LatencyHist        // serve.queue_wait_seconds
+	serveLat   [4]*obs.LatencyHist     // serve.latency_seconds.p<class>
+	serveDepth *obs.Gauge              // serve.queue_depth
+
+	gossipSent    *obs.Counter // gossip.rounds_sent
+	gossipRecv    *obs.Counter // gossip.batches_recv
+	gossipLearned *obs.Counter // gossip.peers_learned
+	gossipRefresh *obs.Counter // gossip.probes_refreshed
+
 	wire *wireTele
 }
 
-var msgTypes = []string{msgJoin, msgLeave, msgLookup, msgProbe, msgSelect, msgReserve, msgRelease}
+var msgTypes = []string{msgJoin, msgLeave, msgLookup, msgProbe, msgSelect, msgReserve, msgRelease, msgAggregate, msgGossip}
+
+// shedReasons mirrors the shed* constants for counter pre-resolution.
+var shedReasons = []string{shedQueueFull, shedEvicted, shedDeadline, shedShutdown}
 
 func newPeerTele(reg *obs.Registry) *peerTele {
 	t := &peerTele{
@@ -81,7 +97,21 @@ func newPeerTele(reg *obs.Registry) *peerTele {
 		admitRejected: reg.Counter("reserve.rejected"),
 		selectSteps:   reg.Counter("select.steps"),
 		compose:       obs.NewComposeCounters(reg),
+		serveAdmit:    reg.Counter("serve.admitted"),
+		serveSheds:    make(map[string]*obs.Counter, len(shedReasons)),
+		serveWait:     reg.Latency("serve.queue_wait_seconds"),
+		serveDepth:    reg.Gauge("serve.queue_depth"),
+		gossipSent:    reg.Counter("gossip.rounds_sent"),
+		gossipRecv:    reg.Counter("gossip.batches_recv"),
+		gossipLearned: reg.Counter("gossip.peers_learned"),
+		gossipRefresh: reg.Counter("gossip.probes_refreshed"),
 		wire:          newWireTele(reg),
+	}
+	for _, r := range shedReasons {
+		t.serveSheds[r] = reg.Counter("serve.shed." + r)
+	}
+	for c := range t.serveLat {
+		t.serveLat[c] = reg.Latency("serve.latency_seconds.p" + string(rune('0'+c)))
 	}
 	for _, m := range msgTypes {
 		t.rpcSent[m] = reg.Counter("rpc." + m + ".sent")
@@ -130,6 +160,9 @@ type wireTele struct {
 	dupDropped *obs.Counter // wire.dups_dropped
 	crcFail    *obs.Counter // wire.crc_failures
 	pktReject  *obs.Counter // wire.packet_rejects (malformed, non-CRC)
+
+	connDials  *obs.Counter // wire.conn_dials (pool misses: real dials)
+	connReuses *obs.Counter // wire.conn_reuses (pool hits)
 }
 
 func newWireTele(reg *obs.Registry) *wireTele {
@@ -144,6 +177,8 @@ func newWireTele(reg *obs.Registry) *wireTele {
 		dupDropped: reg.Counter("wire.dups_dropped"),
 		crcFail:    reg.Counter("wire.crc_failures"),
 		pktReject:  reg.Counter("wire.packet_rejects"),
+		connDials:  reg.Counter("wire.conn_dials"),
+		connReuses: reg.Counter("wire.conn_reuses"),
 	}
 	for _, m := range msgTypes {
 		t.bytesSent[m] = reg.Counter("wire.bytes_sent." + m)
@@ -208,6 +243,22 @@ func (t *wireTele) dupDropped1() {
 		return
 	}
 	t.dupDropped.Inc()
+}
+
+// connDial1 counts one real dial through the connection pool.
+func (t *wireTele) connDial1() {
+	if t == nil {
+		return
+	}
+	t.connDials.Inc()
+}
+
+// connReuse1 counts one pooled-connection reuse (a dial avoided).
+func (t *wireTele) connReuse1() {
+	if t == nil {
+		return
+	}
+	t.connReuses.Inc()
 }
 
 // packetReject classifies a ParsePacket failure: CRC mismatches get
@@ -278,6 +329,80 @@ func (t *peerTele) composeObs() obs.ComposeCounters {
 		return obs.ComposeCounters{}
 	}
 	return t.compose
+}
+
+// serveAdmitted counts one request the admission gate let run.
+func (t *peerTele) serveAdmitted() {
+	if t == nil {
+		return
+	}
+	t.serveAdmit.Inc()
+}
+
+// serveShed counts one shed request by reason.
+func (t *peerTele) serveShed(reason string) {
+	if t == nil {
+		return
+	}
+	if c := t.serveSheds[reason]; c != nil {
+		c.Inc()
+	}
+}
+
+// serveWaited records time a request spent parked in the admission
+// queue before running.
+func (t *peerTele) serveWaited(seconds float64) {
+	if t == nil {
+		return
+	}
+	t.serveWait.Observe(seconds)
+}
+
+// serveClass clamps a wire priority into the four reported classes.
+func serveClass(priority int) int {
+	if priority < 0 {
+		return 0
+	}
+	if priority > 3 {
+		return 3
+	}
+	return priority
+}
+
+// served records one admitted aggregate's end-to-end serve time under
+// its priority class.
+func (t *peerTele) served(priority int, seconds float64) {
+	if t == nil {
+		return
+	}
+	t.serveLat[serveClass(priority)].Observe(seconds)
+}
+
+// serveQueueDepth publishes the instantaneous admission queue depth.
+func (t *peerTele) serveQueueDepth(n int) {
+	if t == nil {
+		return
+	}
+	t.serveDepth.Set(int64(n))
+}
+
+func (t *peerTele) gossipRound() {
+	if t == nil {
+		return
+	}
+	t.gossipSent.Inc()
+}
+
+// gossipBatch accounts one received gossip batch: learned is the
+// number of previously unknown peers, refreshed the number of probe
+// cache entries renewed without a direct probe.
+func (t *peerTele) gossipBatch(learned, refreshed int) {
+	if t == nil {
+		return
+	}
+	t.gossipRecv.Inc()
+	t.gossipLearned.Add(uint64(learned))
+	t.gossipRefresh.Add(uint64(refreshed))
 }
 
 // emitHops replays the wire-level selection report (one WireHop per hop,

@@ -1,0 +1,51 @@
+package probe
+
+import (
+	"repro/internal/resource"
+	"repro/internal/topology"
+)
+
+// Ann is one gossiped announcement about a peer: a second-hand copy of
+// a measurement some other peer took at time Measured. It carries the
+// end-system half of a probe (availability, uptime) but not the
+// pairwise half — available bandwidth is between two specific
+// endpoints, so hearsay cannot speak for this owner's β.
+type Ann struct {
+	Peer      topology.PeerID
+	Available resource.Vector
+	Uptime    float64
+	Measured  float64 // when the announcer measured it (simulated minutes)
+}
+
+// ApplyGossip folds a batch of gossiped announcements into owner's
+// neighbor table, mirroring the wire protocol's batched-gossip rule
+// (DESIGN §14): an announcement refreshes an entry the owner has
+// already probed directly when the gossiped measurement is newer —
+// recycling the entry's availability vector and extending its soft
+// state — and is otherwise ignored. Gossip never mints entries
+// (first contact stays a direct probe, so liveness and β are always
+// first-hand) and never touches the stored AvailKbps. Returns the
+// number of entries refreshed.
+func (m *Manager) ApplyGossip(owner topology.PeerID, batch []Ann, now float64) int {
+	t := m.Table(owner)
+	refreshed := 0
+	for _, a := range batch {
+		if a.Peer == owner || len(a.Available) == 0 {
+			continue
+		}
+		e := t.lookup(a.Peer)
+		if e == nil || !e.probed || !e.info.Alive {
+			continue
+		}
+		if a.Measured <= e.info.Measured {
+			continue
+		}
+		e.info.Available = append(e.info.Available[:0], a.Available...)
+		e.info.Uptime = a.Uptime
+		e.info.Measured = a.Measured
+		e.expires = now + m.cfg.TTL
+		refreshed++
+	}
+	m.stats.Gossiped += uint64(refreshed)
+	return refreshed
+}

@@ -1,0 +1,90 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/resource"
+)
+
+func TestApplyGossipRefreshesProbedEntries(t *testing.T) {
+	m, net := newMgr(t, Config{TTL: 10, Period: 1}, 10)
+	m.Resolve(0, ids(1, 2), DirectRank(1), 5)
+	before, ok := m.Fresh(0, 1, 5)
+	if !ok {
+		t.Fatal("probed neighbor missing")
+	}
+	beta := before.AvailKbps
+
+	n := m.ApplyGossip(0, []Ann{
+		{Peer: 1, Available: resource.Vec2(3, 4), Uptime: 42, Measured: 7},
+		// Stale: older than the direct probe at t=5 — must be ignored.
+		{Peer: 2, Available: resource.Vec2(9, 9), Uptime: 1, Measured: 4},
+		// Never probed: gossip must not mint an entry.
+		{Peer: 3, Available: resource.Vec2(1, 1), Uptime: 1, Measured: 7},
+		// Self and empty announcements are skipped.
+		{Peer: 0, Available: resource.Vec2(1, 1), Measured: 7},
+		{Peer: 1, Measured: 8},
+	}, 7)
+	if n != 1 {
+		t.Fatalf("refreshed %d entries, want 1", n)
+	}
+	if m.Stats().Gossiped != 1 {
+		t.Fatalf("Stats.Gossiped = %d, want 1", m.Stats().Gossiped)
+	}
+
+	got, ok := m.Fresh(0, 1, 7)
+	if !ok {
+		t.Fatal("refreshed neighbor missing")
+	}
+	if got.Available[0] != 3 || got.Available[1] != 4 || got.Uptime != 42 || got.Measured != 7 {
+		t.Fatalf("refresh not applied: %+v", got)
+	}
+	if got.AvailKbps != beta {
+		t.Fatalf("β changed to %g from hearsay, want %g kept", got.AvailKbps, beta)
+	}
+	if !got.Alive {
+		t.Fatal("refreshed entry lost liveness")
+	}
+
+	stale, _ := m.Fresh(0, 2, 5)
+	if stale.Measured != 5 || stale.Available[0] == 9 {
+		t.Fatalf("stale announcement overwrote newer probe: %+v", stale)
+	}
+	if m.NeighborCount(0) != 2 {
+		t.Fatalf("gossip minted an entry: %d neighbors, want 2", m.NeighborCount(0))
+	}
+	_ = net
+}
+
+// TestApplyGossipSavesProbes is the amortization claim end to end: a
+// gossip refresh keeps an entry within-period, so the next Resolve is
+// a cache hit instead of a measurement.
+func TestApplyGossipSavesProbes(t *testing.T) {
+	m, _ := newMgr(t, Config{TTL: 10, Period: 1}, 10)
+	m.Resolve(0, ids(1), DirectRank(1), 0)
+	probes := m.Stats().Probes
+
+	// At t=2 the t=0 measurement is out of period; a gossiped t=1.5
+	// measurement re-arms the cache.
+	m.ApplyGossip(0, []Ann{{Peer: 1, Available: resource.Vec2(5, 5), Measured: 1.5}}, 2)
+	m.Resolve(0, ids(1), DirectRank(1), 2)
+	if got := m.Stats().Probes; got != probes {
+		t.Fatalf("resolve after gossip refresh took %d extra probes, want 0", got-probes)
+	}
+	if m.Stats().CacheHits == 0 {
+		t.Fatal("gossip-refreshed entry did not register as a cache hit")
+	}
+
+	// A dead-entry announcement must not resurrect: kill the ground
+	// truth, re-probe (entry goes !Alive), then gossip about it.
+	m.Resolve(0, ids(4), DirectRank(1), 2)
+	tbl := m.Table(0)
+	e := tbl.lookup(4)
+	if e == nil {
+		t.Fatal("setup: neighbor 4 missing")
+	}
+	e.info.Alive = false
+	if n := m.ApplyGossip(0, []Ann{{Peer: 4, Available: resource.Vec2(5, 5), Measured: 3}}, 3); n != 0 {
+		t.Fatalf("gossip refreshed a dead entry (%d), liveness must stay first-hand", n)
+	}
+}

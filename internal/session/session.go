@@ -132,6 +132,10 @@ type Manager struct {
 	// lifetime in engine-clock units (admission to completion or
 	// failure) — the SLO latency plane's session timer. nil no-ops.
 	Durations *obs.LatencyHist
+	// ActiveGauge, when wired, mirrors the live session count — the
+	// simulator's sibling of the serving plane's queue-depth gauge, so
+	// a load report can show reservations held over time. nil no-ops.
+	ActiveGauge *obs.Gauge
 }
 
 // NewManager returns a session manager bound to the network and engine.
@@ -279,6 +283,7 @@ func (m *Manager) Admit(user topology.PeerID, instances []*service.Instance,
 	s.done = m.engine.ScheduleAfter(dur, func() { m.complete(s) })
 	m.counters.Admitted++
 	m.Obs.Admitted.Inc()
+	m.ActiveGauge.Set(int64(len(m.sessions)))
 	return s, nil
 }
 
@@ -318,6 +323,7 @@ func (m *Manager) complete(s *Session) {
 	s.State = Completed
 	m.counters.Completed++
 	m.Obs.Completed.Inc()
+	m.ActiveGauge.Set(int64(len(m.sessions)))
 	m.Durations.Observe(m.engine.Now() - s.Start)
 	if m.OnEnd != nil {
 		m.OnEnd(s)
@@ -335,6 +341,7 @@ func (m *Manager) failSession(s *Session) {
 	s.done.Cancel()
 	m.counters.Failed++
 	m.Obs.Failed.Inc()
+	m.ActiveGauge.Set(int64(len(m.sessions)))
 	m.Durations.Observe(m.engine.Now() - s.Start)
 	if m.OnEnd != nil {
 		m.OnEnd(s)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/eventsim"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/resource"
 	"repro/internal/service"
@@ -353,4 +354,29 @@ func TestDepartureOfMultiComponentHost(t *testing.T) {
 		t.Fatalf("state = %v", s.State)
 	}
 	f.fullyAvailable(t)
+}
+
+func TestActiveGaugeTracksSessions(t *testing.T) {
+	f := newFixture(t, 10)
+	g := obs.NewRegistry().Gauge("session.active")
+	f.mgr.ActiveGauge = g
+	s1, err := f.mgr.Admit(0, []*service.Instance{inst(10, 50)}, ids(1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.mgr.Admit(0, []*service.Instance{inst(10, 50)}, ids(2), 9); err != nil {
+		t.Fatal(err)
+	}
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d after two admissions, want 2", g.Value())
+	}
+	f.engine.RunUntil(5) // s1 completes
+	if s1.State != Completed || g.Value() != 1 {
+		t.Fatalf("gauge = %d after one completion, want 1", g.Value())
+	}
+	f.net.MustPeer(2).Alive = false
+	f.mgr.PeerDeparted(2, 6) // s2 fails (no recovery wired)
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d after failure, want 0", g.Value())
+	}
 }

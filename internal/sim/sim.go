@@ -442,6 +442,7 @@ func New(cfg Config) (*Simulator, error) {
 		// Achieved session lifetimes (virtual minutes): completed sessions
 		// land on their requested duration, departure-failed ones short.
 		s.sess.Durations = cfg.Metrics.Latency("session.duration_minutes")
+		s.sess.ActiveGauge = cfg.Metrics.Gauge("session.active")
 		s.qsaSel.Counters = obs.NewSelectionCounters(cfg.Metrics)
 		s.reg.Obs = obs.NewDiscoveryCounters(cfg.Metrics)
 		if cfg.Compose.Memo != nil {

@@ -66,6 +66,22 @@ const (
 	// frames as trailing bytes, and the documented rollback remains the
 	// JSON codec, which ignores unknown fields (DESIGN §12).
 	FlagTraceCtx byte = 1 << 4
+
+	// FlagServing marks a frame whose body tail carries the serving-plane
+	// fields (aggregate path/priority/deadline, gossip announcements,
+	// shed/retry-after — DESIGN §14), appended after the trace-context
+	// tail. Same extension discipline as FlagTraceCtx: frames without
+	// serving fields stay byte-identical to the pre-extension format.
+	FlagServing byte = 1 << 5
+
+	// FlagCompressed marks a frame whose body is flate-compressed:
+	// uvarint(raw body length) followed by the deflate stream. The CRC
+	// trailer covers the compressed bytes as written.
+	FlagCompressed byte = 1 << 6
+	// FlagCompressOK on a request advertises that the sender can decode
+	// compressed responses; a server only compresses replies to clients
+	// that set it, so the negotiation needs no handshake round-trip.
+	FlagCompressOK byte = 1 << 7
 )
 
 // MaxMessage bounds one framed message (body + envelope). Anything
@@ -121,6 +137,12 @@ type Binary struct {
 	tab      map[string]string // decode-side intern table
 	keys     []string          // encode scratch: sorted candidate keys
 	candFree [][]string        // decode scratch: recycled provider lists
+
+	// compressMin, when > 0, flate-compresses bodies of at least that
+	// many bytes and advertises FlagCompressOK on requests. 0 (the
+	// default) sends every frame uncompressed; decoding compressed
+	// frames works either way. See SetCompression.
+	compressMin int
 }
 
 // NewBinary returns a ready codec with an empty intern table.
@@ -222,6 +244,17 @@ type reader struct {
 }
 
 func (r *reader) remaining() int { return len(r.data) - r.pos }
+
+// lint:hotpath single-byte read sits under every flag-byte field decode
+func (r *reader) byte() byte {
+	if r.pos >= len(r.data) {
+		r.fail = true
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
 
 // lint:hotpath varint read is the innermost decode primitive
 func (r *reader) uvarint() uint64 {
@@ -453,6 +486,12 @@ func (c *Binary) AppendRequest(dst []byte, reqID uint64, req *Request) ([]byte, 
 	if req.TraceID != 0 || req.SpanID != 0 {
 		flags |= FlagTraceCtx
 	}
+	if servingRequest(req) {
+		flags |= FlagServing
+	}
+	if c.compressMin > 0 {
+		flags |= FlagCompressOK
+	}
 	start := len(dst)
 	dst = appendHeader(dst, kind, flags, reqID)
 	bodyStart := len(dst)
@@ -492,24 +531,96 @@ func (c *Binary) AppendRequest(dst []byte, reqID uint64, req *Request) ([]byte, 
 	for _, s := range req.Chain {
 		dst = appendString(dst, s)
 	}
-	// Extension tail: present only when FlagTraceCtx is set, so
-	// untraced frames stay byte-identical to the pre-extension format.
+	// Extension tails: present only when their flag is set, so frames
+	// without the extension stay byte-identical to the older format.
 	if flags&FlagTraceCtx != 0 {
 		dst = appendUvarint(dst, req.TraceID)
 		dst = appendUvarint(dst, req.SpanID)
 	}
+	if flags&FlagServing != 0 {
+		dst = appendUvarint(dst, uint64(len(req.Services)))
+		for _, s := range req.Services {
+			dst = appendString(dst, s)
+		}
+		dst = appendF64(dst, req.MinRate)
+		dst = appendZigzag(dst, req.Priority)
+		dst = appendF64(dst, req.Deadline)
+		dst = append(dst, boolByte(req.DTolerant))
+		dst = appendUvarint(dst, uint64(len(req.Anns)))
+		for i := range req.Anns {
+			dst = appendAnn(dst, &req.Anns[i])
+		}
+	}
+	if c.compressMin > 0 && len(dst)-bodyStart >= c.compressMin {
+		dst = compressBody(dst, start, bodyStart)
+	}
 	return finishFrame(dst, start, bodyStart)
 }
 
-// AppendResponse implements Codec.
+// servingRequest reports whether any serving-plane request field is
+// set (FlagServing travels only when the tail has content, keeping
+// pre-serving frames byte-identical). The float tests compare bit
+// patterns, mirroring the JSON omitempty zero test.
+func servingRequest(req *Request) bool {
+	return len(req.Services) > 0 || math.Float64bits(req.MinRate) != 0 ||
+		req.Priority != 0 || math.Float64bits(req.Deadline) != 0 ||
+		req.DTolerant || len(req.Anns) > 0
+}
+
+// servingResponse is servingRequest for the reply envelope.
+func servingResponse(resp *Response) bool {
+	return resp.SessionID != "" || math.Float64bits(resp.Cost) != 0 ||
+		resp.Shed || math.Float64bits(resp.RetryAfterSec) != 0
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// lint:hotpath announcement encode runs per entry in every gossip batch
+func appendAnn(dst []byte, a *Ann) []byte {
+	dst = appendString(dst, a.Addr)
+	dst = appendUvarint(dst, uint64(len(a.Avail)))
+	for _, f := range a.Avail {
+		dst = appendF64(dst, f)
+	}
+	dst = appendF64(dst, a.UptimeSec)
+	dst = appendF64(dst, a.AgeSec)
+	dst = appendUvarint(dst, uint64(len(a.Services)))
+	for _, s := range a.Services {
+		dst = appendString(dst, s)
+	}
+	return dst
+}
+
+// AppendResponse implements Codec. It assumes the receiver can decode
+// compressed frames; servers replying to a request whose header did
+// not advertise FlagCompressOK must use AppendResponseNegotiated.
 //
 // lint:hotpath per-RPC response encode; pooled buffers keep the steady state allocation-free
 func (c *Binary) AppendResponse(dst []byte, reqID uint64, resp *Response) ([]byte, error) {
+	return c.AppendResponseNegotiated(dst, reqID, resp, true)
+}
+
+// AppendResponseNegotiated is AppendResponse with the client's
+// compression advertisement: compressOK is the request header's
+// FlagCompressOK bit (read via MessageFlags), so a server never sends
+// a compressed reply to a client that cannot decode one — the
+// flag-negotiation that makes compression rollout reversible.
+//
+// lint:hotpath per-RPC response encode; pooled buffers keep the steady state allocation-free
+func (c *Binary) AppendResponseNegotiated(dst []byte, reqID uint64, resp *Response, compressOK bool) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	flags := FlagResponse
 	if resp.OK {
 		flags |= flagOK
+	}
+	if servingResponse(resp) {
+		flags |= FlagServing
 	}
 	start := len(dst)
 	dst = appendHeader(dst, KindOther, flags, reqID)
@@ -549,6 +660,15 @@ func (c *Binary) AppendResponse(dst []byte, reqID uint64, resp *Response) ([]byt
 			dst = appendString(dst, cd.Reason)
 		}
 	}
+	if flags&FlagServing != 0 {
+		dst = appendString(dst, resp.SessionID)
+		dst = appendF64(dst, resp.Cost)
+		dst = appendF64(dst, resp.RetryAfterSec)
+		dst = append(dst, boolByte(resp.Shed))
+	}
+	if compressOK && c.compressMin > 0 && len(dst)-bodyStart >= c.compressMin {
+		dst = compressBody(dst, start, bodyStart)
+	}
 	return finishFrame(dst, start, bodyStart)
 }
 
@@ -586,6 +706,8 @@ const (
 	minCand  = 2*minStr + minF64       // addr + reason + phi
 	minHop   = 1 + 4*minStr + 1        // idx + four strings + cand count
 	minOffer = minInst + minStr        // instance + provider
+	minAnn   = minStr + 1 + 2*minF64 + 1
+	// ^ addr + avail count + uptime + age + services count
 )
 
 // DecodeRequest implements Codec: overwrites every field of req,
@@ -604,6 +726,28 @@ func (c *Binary) DecodeRequest(data []byte, req *Request) (uint64, error) {
 	if flags&FlagResponse != 0 {
 		return 0, errEnvelope
 	}
+	if flags&FlagCompressed != 0 {
+		buf, cerr := inflateBody(body)
+		if cerr != nil {
+			return 0, cerr
+		}
+		err = c.decodeRequestBody(kind, flags, buf.B, req)
+		PutBuf(buf)
+		if err != nil {
+			return 0, err
+		}
+		return reqID, nil
+	}
+	if err := c.decodeRequestBody(kind, flags, body, req); err != nil {
+		return 0, err
+	}
+	return reqID, nil
+}
+
+// decodeRequestBody decodes a (possibly inflated) request body.
+//
+// lint:hotpath per-RPC request decode body walk
+func (c *Binary) decodeRequestBody(kind, flags byte, body []byte, req *Request) error {
 	r := reader{data: body}
 	if kind == KindOther {
 		req.Type = c.intern(r.bytes())
@@ -629,13 +773,59 @@ func (c *Binary) DecodeRequest(data []byte, req *Request) (uint64, error) {
 	} else {
 		req.TraceID, req.SpanID = 0, 0
 	}
+	if flags&FlagServing != 0 {
+		req.Services = c.decodeStrings(&r, req.Services)
+		req.MinRate = r.f64()
+		req.Priority = r.zigzag()
+		req.Deadline = r.f64()
+		req.DTolerant = r.byte() != 0
+		req.Anns = c.decodeAnns(&r, req.Anns)
+	} else {
+		req.Services = nil
+		req.MinRate, req.Priority, req.Deadline = 0, 0, 0
+		req.DTolerant = false
+		req.Anns = nil
+	}
 	if r.fail {
-		return 0, ErrTruncated
+		return ErrTruncated
 	}
 	if r.remaining() != 0 {
-		return 0, errTrailing
+		return errTrailing
 	}
-	return reqID, nil
+	return nil
+}
+
+// decodeAnns reads a gossip announcement batch, reusing dst capacity.
+//
+// lint:hotpath announcement decode runs per entry in every gossip batch
+func (c *Binary) decodeAnns(r *reader, dst []Ann) []Ann {
+	n := r.count(minAnn)
+	if n == 0 {
+		return nil
+	}
+	if cap(dst) < n {
+		// lint:allow hotalloc grows once per working-set-larger batch shape, then reuses
+		dst = make([]Ann, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		a := &dst[i]
+		a.Addr = c.intern(r.bytes())
+		m := r.count(minF64)
+		if m == 0 {
+			a.Avail = nil
+		} else {
+			av := a.Avail[:0]
+			for j := 0; j < m; j++ {
+				av = append(av, r.f64())
+			}
+			a.Avail = av
+		}
+		a.UptimeSec = r.f64()
+		a.AgeSec = r.f64()
+		a.Services = c.decodeStrings(r, a.Services)
+	}
+	return dst
 }
 
 // DecodeResponse implements Codec.
@@ -651,6 +841,28 @@ func (c *Binary) DecodeResponse(data []byte, resp *Response) (uint64, error) {
 	if flags&FlagResponse == 0 {
 		return 0, errEnvelope
 	}
+	if flags&FlagCompressed != 0 {
+		buf, cerr := inflateBody(body)
+		if cerr != nil {
+			return 0, cerr
+		}
+		err = c.decodeResponseBody(flags, buf.B, resp)
+		PutBuf(buf)
+		if err != nil {
+			return 0, err
+		}
+		return reqID, nil
+	}
+	if err := c.decodeResponseBody(flags, body, resp); err != nil {
+		return 0, err
+	}
+	return reqID, nil
+}
+
+// decodeResponseBody decodes a (possibly inflated) response body.
+//
+// lint:hotpath per-RPC response decode body walk
+func (c *Binary) decodeResponseBody(flags byte, body []byte, resp *Response) error {
 	r := reader{data: body}
 	resp.OK = flags&flagOK != 0
 	resp.Err = c.intern(r.bytes())
@@ -720,13 +932,23 @@ func (c *Binary) DecodeResponse(data []byte, resp *Response) (uint64, error) {
 		}
 		resp.Hops = s
 	}
+	if flags&FlagServing != 0 {
+		resp.SessionID = c.intern(r.bytes())
+		resp.Cost = r.f64()
+		resp.RetryAfterSec = r.f64()
+		resp.Shed = r.byte() != 0
+	} else {
+		resp.SessionID = ""
+		resp.Cost, resp.RetryAfterSec = 0, 0
+		resp.Shed = false
+	}
 	if r.fail {
-		return 0, ErrTruncated
+		return ErrTruncated
 	}
 	if r.remaining() != 0 {
-		return 0, errTrailing
+		return errTrailing
 	}
-	return reqID, nil
+	return nil
 }
 
 // decodeStrings reads a plain-count string sequence into dst's

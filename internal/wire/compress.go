@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"io"
+	"sync"
+)
+
+// Flag-negotiated body compression (stdlib flate, DESIGN §14): large
+// discovery and select fan-out payloads shrink 3-10x, while the
+// steady-state small messages (probe, reserve) never cross the
+// threshold and keep their zero-allocation encode path untouched.
+//
+// A compressed body is uvarint(raw body length) followed by one
+// deflate stream. The length prefix is bounds-checked against
+// MaxMessage before any buffer is sized, so a hostile frame cannot
+// force a huge allocation, and the stream must inflate to exactly the
+// advertised length. Framing (header, spliced body length, CRC32C)
+// covers the compressed bytes, so transport-level integrity checking
+// is unchanged.
+
+// DefaultCompressMin is the body size at which compression starts to
+// win: below ~1 KiB the deflate header and the extra CPU outweigh the
+// byte savings on this codec's already-varint-packed bodies.
+const DefaultCompressMin = 1 << 10
+
+// ErrCompress rejects a FlagCompressed body whose length prefix or
+// deflate stream is malformed.
+var ErrCompress = errors.New("wire: bad compressed body")
+
+// SetCompression enables flate compression of message bodies of at
+// least min bytes (0 disables, the default; DefaultCompressMin is the
+// recommended threshold). Requests then advertise FlagCompressOK so
+// servers may compress their replies; decoding compressed frames
+// works regardless of this setting.
+func (c *Binary) SetCompression(min int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if min < 0 {
+		min = 0
+	}
+	c.compressMin = min
+}
+
+// sliceWriter adapts an append target to io.Writer for flate.
+type sliceWriter struct{ b *[]byte }
+
+func (w sliceWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}
+
+// Writer and reader pooling: flate state is ~32-64 KiB per instance,
+// far too heavy to build per message.
+var flateWriters = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		// Unreachable: BestSpeed is a valid level. Returning the nil
+		// writer would just crash later with less context.
+		// lint:allow panic-in-library a static, valid flate level cannot fail
+		panic(err)
+	}
+	return w
+}}
+
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
+// compressBody replaces dst's body [bodyStart:] with
+// uvarint(rawLen) + deflate(raw) and sets FlagCompressed in the
+// header at start — but only when that actually shrinks the body, so
+// incompressible payloads cost nothing on the wire. Runs between the
+// body encode and finishFrame: the spliced length and the CRC then
+// cover the compressed bytes.
+//
+// lint:coldpath only large fan-out payloads cross the compression threshold
+func compressBody(dst []byte, start, bodyStart int) []byte {
+	raw := dst[bodyStart:]
+	scratch := GetBuf(len(raw) / 2)
+	defer PutBuf(scratch)
+	scratch.B = appendUvarint(scratch.B[:0], uint64(len(raw)))
+	fw := flateWriters.Get().(*flate.Writer)
+	fw.Reset(sliceWriter{&scratch.B})
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	flateWriters.Put(fw)
+	if werr != nil || cerr != nil || len(scratch.B) >= len(raw) {
+		// Compression failed or did not win: keep the raw body.
+		return dst
+	}
+	dst = append(dst[:bodyStart], scratch.B...)
+	dst[start+offFlags] |= FlagCompressed
+	return dst
+}
+
+// inflateBody decodes a FlagCompressed body into a pooled buffer the
+// caller must PutBuf.
+func inflateBody(body []byte) (*Buf, error) {
+	r := reader{data: body}
+	rawLen := r.uvarint()
+	if r.fail || rawLen > MaxMessage {
+		return nil, ErrCompress
+	}
+	fr := flateReaders.Get().(io.ReadCloser)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(body[r.pos:]), nil); err != nil {
+		flateReaders.Put(fr)
+		return nil, ErrCompress
+	}
+	buf := GetBuf(int(rawLen))
+	buf.B = buf.B[:rawLen]
+	_, err := io.ReadFull(fr, buf.B)
+	if err == nil {
+		// The stream must terminate cleanly exactly at the advertised
+		// length: trailing data or a missing final block means a
+		// corrupt or hostile frame.
+		var probe [1]byte
+		if n, perr := fr.Read(probe[:]); n != 0 || perr != io.EOF {
+			err = ErrCompress
+		}
+	}
+	flateReaders.Put(fr)
+	if err != nil {
+		PutBuf(buf)
+		return nil, ErrCompress
+	}
+	return buf, nil
+}

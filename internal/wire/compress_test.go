@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// bigLookupResponse builds a discovery fan-in reply large and
+// repetitive enough that flate wins decisively.
+func bigLookupResponse() Response {
+	var resp Response
+	resp.OK = true
+	for i := 0; i < 64; i++ {
+		in := sampleInstance("inst")
+		in.ID = "inst/" + strings.Repeat("x", i%7) + "/variant"
+		resp.Offers = append(resp.Offers, Offer{Instance: in, Provider: "10.0.0.1:9001"})
+	}
+	return resp
+}
+
+// TestCompressionCrossCodec is the satellite differential test for
+// compression: for every sample shape plus a large fan-out payload,
+// JSON, plain binary, and compressing binary must all decode to
+// byte-identical structs.
+func TestCompressionCrossCodec(t *testing.T) {
+	js := JSON{}
+	plain := NewBinary()
+	comp := NewBinary()
+	comp.SetCompression(1) // compress everything compressible
+	reqs := sampleRequests()
+	for i, req := range reqs {
+		jb, err := js.AppendRequest(nil, 3, &req)
+		if err != nil {
+			t.Fatalf("req %d: json encode: %v", i, err)
+		}
+		cb, err := comp.AppendRequest(nil, 3, &req)
+		if err != nil {
+			t.Fatalf("req %d: compressed encode: %v", i, err)
+		}
+		var jr, cr Request
+		if _, err := js.DecodeRequest(jb, &jr); err != nil {
+			t.Fatalf("req %d: json decode: %v", i, err)
+		}
+		// Decode through the NON-compressing codec: compression support
+		// is unconditional on the decode side.
+		if _, err := plain.DecodeRequest(cb, &cr); err != nil {
+			t.Fatalf("req %d: decode of compressed frame: %v", i, err)
+		}
+		if !reflect.DeepEqual(jr, cr) {
+			t.Errorf("req %d: compressed divergence\njson:       %+v\ncompressed: %+v", i, jr, cr)
+		}
+	}
+
+	big := bigLookupResponse()
+	pb, err := plain.AppendResponse(nil, 5, &big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := comp.AppendResponse(nil, 5, &big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags, ok := MessageFlags(cb)
+	if !ok || flags&FlagCompressed == 0 {
+		t.Fatalf("large response not compressed (flags %08b)", flags)
+	}
+	if len(cb) >= len(pb) {
+		t.Errorf("compressed frame %dB not smaller than plain %dB", len(cb), len(pb))
+	}
+	var pr, cr Response
+	if _, err := plain.DecodeResponse(pb, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.DecodeResponse(cb, &cr); err != nil {
+		t.Fatalf("decode of compressed response: %v", err)
+	}
+	if !reflect.DeepEqual(pr, cr) {
+		t.Error("compressed response decoded differently from plain")
+	}
+}
+
+// TestCompressionNegotiation pins the flag handshake: requests from a
+// compressing codec advertise FlagCompressOK, and a server honoring
+// the negotiation never compresses toward a client that did not.
+func TestCompressionNegotiation(t *testing.T) {
+	plain := NewBinary()
+	comp := NewBinary()
+	comp.SetCompression(DefaultCompressMin)
+
+	pReq, err := plain.AppendRequest(nil, 1, &Request{Type: TypeProbe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := MessageFlags(pReq); flags&FlagCompressOK != 0 {
+		t.Error("non-compressing codec advertised FlagCompressOK")
+	}
+	cReq, err := comp.AppendRequest(nil, 2, &Request{Type: TypeProbe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := MessageFlags(cReq); flags&FlagCompressOK == 0 {
+		t.Error("compressing codec did not advertise FlagCompressOK")
+	}
+
+	big := bigLookupResponse()
+	denied, err := comp.AppendResponseNegotiated(nil, 3, &big, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := MessageFlags(denied); flags&FlagCompressed != 0 {
+		t.Error("server compressed a reply to a client without FlagCompressOK")
+	}
+	granted, err := comp.AppendResponseNegotiated(nil, 3, &big, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := MessageFlags(granted); flags&FlagCompressed == 0 {
+		t.Error("server skipped compression despite FlagCompressOK")
+	}
+	// Small bodies stay raw even when negotiated: the threshold keeps
+	// the steady-state small-message path untouched.
+	small, err := comp.AppendResponseNegotiated(nil, 4, &Response{OK: true}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := MessageFlags(small); flags&FlagCompressed != 0 {
+		t.Error("sub-threshold response was compressed")
+	}
+}
+
+// rebuildFrame re-frames a hand-mutated body with a fresh CRC so the
+// decoder exercises the compression guards, not the CRC check.
+func rebuildFrame(t *testing.T, frame []byte, mutate func(body []byte) []byte) []byte {
+	t.Helper()
+	kind, flags, reqID, body, err := openFrame(frame)
+	if err != nil {
+		t.Fatalf("rebuildFrame: %v", err)
+	}
+	out := appendHeader(nil, kind, flags, reqID)
+	bodyStart := len(out)
+	out = append(out, mutate(append([]byte(nil), body...))...)
+	out, err = finishFrame(out, 0, bodyStart)
+	if err != nil {
+		t.Fatalf("rebuildFrame: %v", err)
+	}
+	return out
+}
+
+// TestCompressionHostileFrames drives the anti-OOM and
+// exact-length guards on the compressed-body path.
+func TestCompressionHostileFrames(t *testing.T) {
+	comp := NewBinary()
+	comp.SetCompression(1)
+	big := bigLookupResponse()
+	frame, err := comp.AppendResponse(nil, 7, &big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := MessageFlags(frame); flags&FlagCompressed == 0 {
+		t.Fatal("fixture frame is not compressed")
+	}
+	var resp Response
+
+	huge := rebuildFrame(t, frame, func(body []byte) []byte {
+		// Replace the raw-length prefix with MaxMessage+1.
+		var r reader
+		r.data = body
+		r.uvarint()
+		return append(appendUvarint(nil, MaxMessage+1), body[r.pos:]...)
+	})
+	if _, err := comp.DecodeResponse(huge, &resp); err != ErrCompress {
+		t.Errorf("oversize raw length: err = %v, want ErrCompress", err)
+	}
+
+	truncated := rebuildFrame(t, frame, func(body []byte) []byte {
+		return body[:len(body)-4] // cut the deflate stream short
+	})
+	if _, err := comp.DecodeResponse(truncated, &resp); err != ErrCompress {
+		t.Errorf("truncated stream: err = %v, want ErrCompress", err)
+	}
+
+	trailing := rebuildFrame(t, frame, func(body []byte) []byte {
+		// Understate the raw length: the stream then inflates past it.
+		var r reader
+		r.data = body
+		n := r.uvarint()
+		return append(appendUvarint(nil, n-1), body[r.pos:]...)
+	})
+	if _, err := comp.DecodeResponse(trailing, &resp); err != ErrCompress {
+		t.Errorf("trailing compressed data: err = %v, want ErrCompress", err)
+	}
+
+	garbage := rebuildFrame(t, frame, func(body []byte) []byte {
+		return append(appendUvarint(nil, 100), bytes.Repeat([]byte{0xff}, 20)...)
+	})
+	if _, err := comp.DecodeResponse(garbage, &resp); err != ErrCompress {
+		t.Errorf("garbage stream: err = %v, want ErrCompress", err)
+	}
+}
+
+// TestCompressionIncompressible: when flate cannot shrink the body,
+// the frame ships raw — no size regression on high-entropy payloads.
+func TestCompressionIncompressible(t *testing.T) {
+	comp := NewBinary()
+	comp.SetCompression(1)
+	// An already-compressed (deflate) byte string is incompressible.
+	var noise bytes.Buffer
+	fw, err := flate.NewWriter(&noise, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	raw := make([]byte, 2048)
+	for i := range raw {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		raw[i] = byte(seed >> 56)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Type: TypeJoin, Addr: noise.String()}
+	frame, err := comp.AppendRequest(nil, 1, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := MessageFlags(frame); flags&FlagCompressed != 0 {
+		t.Error("incompressible body was marked compressed")
+	}
+	var got Request
+	if _, err := comp.DecodeRequest(frame, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != req.Addr {
+		t.Error("incompressible body round-trip mismatch")
+	}
+}

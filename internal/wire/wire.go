@@ -21,13 +21,15 @@ package wire
 // strings are the JSON wire values; the binary codec maps them to the
 // one-byte kinds below.
 const (
-	TypeJoin    = "join"    // announce a member; response carries membership
-	TypeLeave   = "leave"   // graceful departure announcement
-	TypeLookup  = "lookup"  // discover a peer's registrations of a service
-	TypeProbe   = "probe"   // resource availability + uptime
-	TypeSelect  = "select"  // continue hop-by-hop selection at this peer
-	TypeReserve = "reserve" // reserve resources for a session
-	TypeRelease = "release" // drop a session's reservation early
+	TypeJoin      = "join"      // announce a member; response carries membership
+	TypeLeave     = "leave"     // graceful departure announcement
+	TypeLookup    = "lookup"    // discover a peer's registrations of a service
+	TypeProbe     = "probe"     // resource availability + uptime
+	TypeSelect    = "select"    // continue hop-by-hop selection at this peer
+	TypeReserve   = "reserve"   // reserve resources for a session
+	TypeRelease   = "release"   // drop a session's reservation early
+	TypeAggregate = "aggregate" // run a full aggregation at the serving peer
+	TypeGossip    = "gossip"    // batched membership/availability announcements
 )
 
 // Binary message kinds: the one-byte encoding of the Type string in
@@ -42,6 +44,8 @@ const (
 	KindSelect
 	KindReserve
 	KindRelease
+	KindAggregate
+	KindGossip
 )
 
 // kindOf maps a Type string to its binary kind.
@@ -61,6 +65,10 @@ func kindOf(typ string) byte {
 		return KindReserve
 	case TypeRelease:
 		return KindRelease
+	case TypeAggregate:
+		return KindAggregate
+	case TypeGossip:
+		return KindGossip
 	default:
 		return KindOther
 	}
@@ -84,20 +92,26 @@ func typeOf(kind byte) string {
 		return TypeReserve
 	case KindRelease:
 		return TypeRelease
+	case KindAggregate:
+		return TypeAggregate
+	case KindGossip:
+		return TypeGossip
 	default:
 		return ""
 	}
 }
 
 // Idempotent reports whether an RPC type may be retransmitted without
-// changing the outcome: probing, discovery and membership messages
-// are; reserve is not (a duplicate could double-book capacity) and
-// select is not (a duplicate would re-run the downstream selection
-// recursion). The UDP transport consults this — via the header flag
-// the codec sets — to decide whether a lost datagram may be resent.
+// changing the outcome: probing, discovery, membership and gossip
+// messages are; reserve is not (a duplicate could double-book
+// capacity), select is not (a duplicate would re-run the downstream
+// selection recursion), and aggregate is not (it admits a session,
+// so a duplicate would book a second one). The UDP transport consults
+// this — via the header flag the codec sets — to decide whether a
+// lost datagram may be resent.
 func Idempotent(typ string) bool {
 	switch typ {
-	case TypeJoin, TypeLeave, TypeLookup, TypeProbe, TypeRelease:
+	case TypeJoin, TypeLeave, TypeLookup, TypeProbe, TypeRelease, TypeGossip:
 		return true
 	}
 	return false
@@ -175,6 +189,28 @@ type Request struct {
 	// the binary codec gates them behind FlagTraceCtx at the body tail.
 	TraceID uint64 `json:"trace_id,omitempty"`
 	SpanID  uint64 `json:"span_id,omitempty"`
+
+	// Serving plane (aggregate / gossip, DESIGN §14). In JSON the
+	// fields omit when zero; the binary codec gates them behind
+	// FlagServing at the body tail, after the trace context.
+	Services  []string `json:"services,omitempty"`  // aggregate: abstract path
+	MinRate   float64  `json:"min_rate,omitempty"`  // aggregate: end-to-end rate floor
+	Priority  int      `json:"priority,omitempty"`  // aggregate: higher is more important
+	Deadline  float64  `json:"deadline,omitempty"`  // aggregate: client latency budget, seconds
+	DTolerant bool     `json:"dtolerant,omitempty"` // aggregate: disruption-tolerant flow
+	Anns      []Ann    `json:"anns,omitempty"`      // gossip: batched announcements
+}
+
+// Ann is one gossiped peer announcement: the batched form of a probe
+// response, so one datagram per gossip interval refreshes many
+// entries (DESIGN §14). AgeSec is how stale the announcement already
+// was at the sender — receivers only keep strictly fresher state.
+type Ann struct {
+	Addr      string    `json:"addr"`
+	Avail     []float64 `json:"avail,omitempty"`
+	UptimeSec float64   `json:"uptime_sec,omitempty"`
+	AgeSec    float64   `json:"age_sec,omitempty"`
+	Services  []string  `json:"services,omitempty"`
 }
 
 // Offer is one (instance, provider) discovery result.
@@ -198,6 +234,15 @@ type Response struct {
 	// select
 	Chain []string `json:"chain,omitempty"`
 	Hops  []Hop    `json:"hops,omitempty"` // per-hop decision records (Request.Trace)
+
+	// Serving plane (aggregate replies and backpressure, DESIGN §14).
+	// Shed marks a request refused by admission control; RetryAfterSec
+	// is the server's deterministic backoff hint. In JSON the fields
+	// omit when zero; the binary codec gates them behind FlagServing.
+	SessionID     string  `json:"session_id,omitempty"`
+	Cost          float64 `json:"cost,omitempty"`
+	Shed          bool    `json:"shed,omitempty"`
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
 }
 
 // Codec encodes and decodes the RPC envelopes. Append* appends one

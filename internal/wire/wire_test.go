@@ -61,6 +61,32 @@ func sampleRequests() []Request {
 			TraceID: 1<<63 | 0xdeadbeef,
 			SpanID:  0x1234567890abcdef,
 		},
+		{ // aggregate: the serving-plane request shape (FlagServing tail)
+			Type:        TypeAggregate,
+			Addr:        "127.0.0.1:9000",
+			Services:    []string{"source", "transcode", "player"},
+			MinRate:     15,
+			Priority:    2,
+			Deadline:    0.25,
+			DTolerant:   true,
+			DurationSec: 30,
+		},
+		{ // gossip: batched announcements, with nil-avail edge
+			Type: TypeGossip,
+			Addr: "127.0.0.1:9001",
+			Anns: []Ann{
+				{Addr: "127.0.0.1:9002", Avail: []float64{500, 256}, UptimeSec: 3600,
+					AgeSec: 0.5, Services: []string{"transcode", "player"}},
+				{Addr: "127.0.0.1:9003", UptimeSec: 10},
+			},
+		},
+		{ // serving tail composes with the trace-context tail
+			Type:     TypeAggregate,
+			Services: []string{"source"},
+			Priority: -1,
+			TraceID:  42,
+			SpanID:   43,
+		},
 	}
 }
 
@@ -82,6 +108,13 @@ func sampleResponses() []Response {
 			{Idx: 1, At: "127.0.0.1:9002", Inst: "i1", Mode: "local"},
 		}},
 		{},
+		{ // aggregate success: serving-plane reply fields
+			OK: true, SessionID: "127.0.0.1:9000/1", Cost: 0.4231,
+			Chain: []string{"127.0.0.1:9001", "127.0.0.1:9002"},
+		},
+		{ // backpressure: shed with a deterministic retry-after hint
+			Err: "shed: queue full", Shed: true, RetryAfterSec: 0.2,
+		},
 	}
 }
 

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Regenerates BENCH_serving.json, the serving-plane throughput record
+# for DESIGN.md §14: sustained successful aggregations per second (and
+# per core) under an open-loop generator, across {constant, bursty}
+# arrivals × {JSON/TCP, binary/UDP} stacks, plus an overload leg that
+# offers ~8x one admission worker's capacity and must shed rather than
+# queue without bound.
+#
+# The engine is TestServingBenchReport
+# (internal/netproto/servingbench_test.go), which asserts the SLO bars
+# itself — zero shed and p99 ≤ 250ms on the sustained legs, nonzero
+# shed with bounded p99 on the overload leg — and writes the JSON, so
+# this script only sets the knobs:
+#
+#   QSA_SERVING_BENCH  gates the test (skipped in normal test runs)
+#   QSA_SERVING_N      arrivals per leg
+#   QSA_SERVING_RATE   offered rate on the sustained legs (req/s)
+#   QSA_SERVING_OUT    where to write the report
+#
+# Usage: scripts/bench_serving.sh        (writes BENCH_serving.json, ~30 s)
+#        scripts/bench_serving.sh smoke  (reduced run for ci.sh: asserts
+#                                         the SLO bars; writes nothing)
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+
+if [ "$mode" = smoke ]; then
+	echo '>> serving smoke: 200 arrivals per leg at 150/s, SLO bars asserted' >&2
+	QSA_SERVING_BENCH=1 QSA_SERVING_N=200 QSA_SERVING_RATE=150 \
+		go test -run '^TestServingBenchReport$' -count=1 ./internal/netproto/ > /dev/null
+	echo '>> ok: zero shed + p99 target at low load, shed engaged + bounded p99 at overload' >&2
+	exit 0
+fi
+
+QSA_SERVING_BENCH=1 QSA_SERVING_N=1000 QSA_SERVING_RATE=250 \
+	QSA_SERVING_OUT="$PWD/BENCH_serving.json" \
+	go test -run '^TestServingBenchReport$' -count=1 ./internal/netproto/ > /dev/null
+
+cat BENCH_serving.json
